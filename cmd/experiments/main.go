@@ -1,0 +1,73 @@
+// Command experiments regenerates every table and series of the
+// reproduction (DESIGN.md §4, recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-scale quick|full] [-out FILE] [-only E5,E16] [-csvdir DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		scale  = flag.String("scale", "full", "workload scale: quick|full")
+		out    = flag.String("out", "", "output file (default stdout)")
+		only   = flag.String("only", "", "comma-separated experiment ids to run (e.g. \"E5,E16\"); default all")
+		csvDir = flag.String("csvdir", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	var s experiments.Scale
+	switch *scale {
+	case "quick":
+		s = experiments.Quick
+	case "full":
+		s = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var ids []string
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+	}
+	start := time.Now()
+	if err := experiments.RunFiltered(w, s, ids); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: FAILED:", err)
+		os.Exit(1)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		files, err := experiments.WriteCSV(*csvDir, s, ids)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: CSV:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "wrote %d CSV files to %s\n", len(files), *csvDir)
+	}
+	fmt.Fprintf(w, "elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestDecomposeFig1(t *testing.T) {
+	out, err := runCapture(t, "decompose", "-fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"α=1/3", "B1{0,1}", "class=B=C"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDecomposeDOT(t *testing.T) {
+	out, err := runCapture(t, "decompose", "-fig1", "-dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "graph G {") || !strings.Contains(out, "lightblue") {
+		t.Errorf("DOT output wrong:\n%s", out)
+	}
+}
+
+func TestAllocateRing(t *testing.T) {
+	out, err := runCapture(t, "allocate", "-ring", "1,100,1,5,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "x[") {
+		t.Errorf("no transfers printed:\n%s", out)
+	}
+}
+
+func TestUtilitiesPath(t *testing.T) {
+	out, err := runCapture(t, "utilities", "-path", "1,100,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ΣU = 102") {
+		t.Errorf("missing utility sum:\n%s", out)
+	}
+}
+
+func TestRatioCommand(t *testing.T) {
+	out, err := runCapture(t, "ratio", "-v", "3", "-grid", "16", "-ring", "100,1,1,1,1,1,1,1,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "≤ 2: true") {
+		t.Errorf("Theorem 8 verdict missing:\n%s", out)
+	}
+}
+
+func TestGraphFromFile(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(file, []byte("n 3\nw 0 1\nw 1 100\nw 2 1\ne 0 1\ne 1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCapture(t, "utilities", "-in", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "U(v0) = 50") {
+		t.Errorf("file graph utilities wrong:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus", "-fig1"},
+		{"decompose"},                            // no graph selected
+		{"decompose", "-fig1", "-ring", "1,2,3"}, // two graphs selected
+		{"decompose", "-fig1", "-engine", "turbo"}, // bad engine
+		{"decompose", "-ring", "1,x,3"},            // bad weight
+		{"ratio", "-fig1"},                         // missing -v
+		{"ratio", "-v", "0", "-fig1"},              // not a ring
+		{"decompose", "-in", "/nonexistent/file"},
+	}
+	for _, args := range cases {
+		if _, err := runCapture(t, args...); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestEngineSelection(t *testing.T) {
+	for _, engine := range []string{"auto", "flow", "path-dp", "brute"} {
+		out, err := runCapture(t, "decompose", "-engine", engine, "-ring", "1,100,1,5,5")
+		if err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+		if !strings.Contains(out, "α=1/50") {
+			t.Errorf("engine %s output wrong:\n%s", engine, out)
+		}
+	}
+}
+
+func TestCurveCommand(t *testing.T) {
+	out, err := runCapture(t, "curve", "-v", "0", "-ring", "8,1,1,1,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Proposition 11 classification: Case B-3", "exact crossing x* = 2", "structure intervals"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("curve output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDecomposeTraceFlag(t *testing.T) {
+	out, err := runCapture(t, "decompose", "-trace", "-ring", "1,100,1,5,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trace: stage 1: solving", "trace: stage 1: λ =", "trace: stage 1: extracted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerifyCommand(t *testing.T) {
+	out, err := runCapture(t, "verify", "-v", "1", "-grid", "16", "-ring", "1,100,1,5,5")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "0 failed") || strings.Contains(out, "[FAIL]") {
+		t.Errorf("verify output:\n%s", out)
+	}
+	// Non-ring graphs skip the Theorem 8 battery but still verify structure.
+	out2, err := runCapture(t, "verify", "-fig1")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out2)
+	}
+	if !strings.Contains(out2, "Proposition 3") {
+		t.Errorf("verify -fig1 output:\n%s", out2)
+	}
+}

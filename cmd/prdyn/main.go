@@ -1,0 +1,149 @@
+// Command prdyn runs the proportional response dynamics (or the
+// message-passing swarm) on a graph and reports convergence to the exact BD
+// allocation.
+//
+// Usage:
+//
+//	prdyn [-in FILE | -ring w,... | -path w,...] [-rounds N] [-damping θ]
+//	      [-swarm] [-track v1,v2,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bottleneck"
+	"repro/internal/dynamics"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/p2p"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "prdyn:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("prdyn", flag.ContinueOnError)
+	var (
+		inFile  = fs.String("in", "", "graph file (\"-\" = stdin)")
+		ringW   = fs.String("ring", "", "comma-separated ring weights")
+		pathW   = fs.String("path", "", "comma-separated path weights")
+		rounds  = fs.Int("rounds", 10000, "maximum rounds")
+		damping = fs.Float64("damping", 0, "damping θ ∈ [0,1)")
+		swarm   = fs.Bool("swarm", false, "run the message-passing swarm instead of the recurrence")
+		track   = fs.String("track", "", "comma-separated agents to track (swarm mode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadGraph(*inFile, *ringW, *pathW)
+	if err != nil {
+		return err
+	}
+	dec, err := bottleneck.Decompose(g)
+	if err != nil {
+		return err
+	}
+	exact := dec.Utilities(g)
+
+	if *swarm {
+		var tracked []int
+		if *track != "" {
+			for _, s := range strings.Split(*track, ",") {
+				v, err := strconv.Atoi(s)
+				if err != nil {
+					return err
+				}
+				tracked = append(tracked, v)
+			}
+		}
+		res, err := p2p.Run(g, p2p.Config{Rounds: *rounds, TrackAgents: tracked})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "swarm: %d rounds, %d messages\n", res.Rounds, res.Messages)
+		printUtilities(w, g, res.Utilities, exact)
+		for i, v := range tracked {
+			h := res.History[i]
+			fmt.Fprintf(w, "agent %d history: first=%.6f mid=%.6f last=%.6f\n",
+				v, h[0], h[len(h)/2], h[len(h)-1])
+		}
+		return nil
+	}
+
+	res, err := dynamics.Run(g, dynamics.Options{
+		MaxRounds:       *rounds,
+		Damping:         *damping,
+		TargetUtilities: exact,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "dynamics: %d rounds, converged=%v, final L∞ utility error %.3e\n",
+		res.Rounds, res.Converged, res.FinalUtilityError())
+	printUtilities(w, g, res.Utilities, exact)
+	return nil
+}
+
+func printUtilities(w io.Writer, g *graph.Graph, got []float64, exact []numeric.Rat) {
+	for v := 0; v < g.N(); v++ {
+		fmt.Fprintf(w, "  U(%s) = %.6f (exact %s)\n", g.Label(v), got[v], exact[v])
+	}
+}
+
+func loadGraph(inFile, ringW, pathW string) (*graph.Graph, error) {
+	selected := 0
+	for _, on := range []bool{inFile != "", ringW != "", pathW != ""} {
+		if on {
+			selected++
+		}
+	}
+	if selected != 1 {
+		return nil, fmt.Errorf("select exactly one of -in, -ring, -path")
+	}
+	parse := func(s string) ([]numeric.Rat, error) {
+		parts := strings.Split(s, ",")
+		ws := make([]numeric.Rat, len(parts))
+		for i, p := range parts {
+			w, err := numeric.Parse(p)
+			if err != nil {
+				return nil, err
+			}
+			ws[i] = w
+		}
+		return ws, nil
+	}
+	switch {
+	case ringW != "":
+		ws, err := parse(ringW)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Ring(ws), nil
+	case pathW != "":
+		ws, err := parse(pathW)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Path(ws), nil
+	default:
+		r := os.Stdin
+		if inFile != "-" {
+			f, err := os.Open(inFile)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			r = f
+		}
+		return graph.Read(r)
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestDynamicsMode(t *testing.T) {
+	out, err := runCapture(t, "-path", "1,100,2", "-rounds", "2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "dynamics:") || !strings.Contains(out, "exact 100/3") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestSwarmMode(t *testing.T) {
+	out, err := runCapture(t, "-ring", "1,7,2,9,3", "-rounds", "500", "-swarm", "-track", "0,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "swarm:") || !strings.Contains(out, "agent 0 history") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestDampedDynamics(t *testing.T) {
+	out, err := runCapture(t, "-ring", "1,7,2,9,3", "-rounds", "2000", "-damping", "0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "dynamics:") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestPrdynErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                    // no graph
+		{"-ring", "1,2,3", "-path", "1,2"},    // two graphs
+		{"-ring", "a,b,c"},                    // bad weights
+		{"-ring", "1,2,3", "-damping", "1.5"}, // bad damping
+		{"-ring", "1,2,3", "-swarm", "-track", "zz"}, // bad track list
+		{"-in", "/nonexistent"},
+	}
+	for _, args := range cases {
+		if _, err := runCapture(t, args...); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

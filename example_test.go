@@ -1,0 +1,62 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The bottleneck decomposition of the paper's Fig. 1 example.
+func ExampleDecompose() {
+	g := repro.Fig1Graph()
+	dec, err := repro.Decompose(g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(dec)
+	// Output:
+	// (B1{0,1}, C1{2}, α=1/3) (B2{3,4,5}, C2{3,4,5}, α=1)
+}
+
+// Equilibrium utilities follow Proposition 6: w·α for B class, w/α for C.
+func ExampleAllocate() {
+	g := repro.Path(repro.Ints(1, 100, 1))
+	dec, _ := repro.Decompose(g)
+	alloc, _ := repro.Allocate(g, dec)
+	fmt.Println("middle:", alloc.Utility(1))
+	fmt.Println("leaf:  ", alloc.Utility(0))
+	// Output:
+	// middle: 2
+	// leaf:   50
+}
+
+// The incentive ratio of a Sybil attack on a ring never exceeds 2
+// (Theorem 8); on symmetric instances it is exactly 1.
+func ExampleIncentiveRatio() {
+	g := repro.Ring(repro.Ints(1, 1, 1, 1, 1))
+	ratio, _ := repro.IncentiveRatio(g, 0)
+	fmt.Println(ratio)
+	// Output:
+	// 1
+}
+
+// LowerBoundLimitRatio gives the H → ∞ ratio of the tight family member k:
+// (2k+1)/(k+1), increasing to 2.
+func ExampleLowerBoundLimitRatio() {
+	for _, k := range []int{1, 4, 19} {
+		fmt.Println(repro.LowerBoundLimitRatio(k))
+	}
+	// Output:
+	// 3/2
+	// 9/5
+	// 39/20
+}
+
+// Exact rational arithmetic keeps decomposition structure decisions exact.
+func ExampleParseRat() {
+	a, _ := repro.ParseRat("1/3")
+	b, _ := repro.ParseRat("0.25")
+	fmt.Println(a.Add(b), a.Mul(b), a.Less(b))
+	// Output:
+	// 7/12 1/12 false
+}

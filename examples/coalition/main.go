@@ -1,0 +1,48 @@
+// Coalition attacks: Theorem 8 caps what ONE agent can gain from a Sybil
+// attack at 2×. This example demonstrates — with exactly evaluated
+// strategies — that the bound is strictly unilateral: two coordinating
+// attackers can push their combined harvest past 4× the honest total, and
+// a sacrificial partner can lift a single agent far beyond 2×.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/sybil"
+)
+
+func main() {
+	// The certified instance found by grid search (experiment E16).
+	g := repro.Ring(repro.Ints(128, 2, 128, 128, 512, 4, 32))
+	a, b := 5, 4 // the colluders: a light agent (w=4) and its heavy neighbor (w=512)
+
+	// Unilateral ratios first: both are within Theorem 8's bound of 2.
+	for _, v := range []int{a, b} {
+		r, err := repro.IncentiveRatio(g, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("unilateral ζ_%d = %.6f (≤ 2 per Theorem 8)\n", v, r.Float64())
+	}
+
+	// Joint search: each attacker stays whole or splits toward a neighbor.
+	res, err := sybil.PairAttack(g, a, b, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncoalition {%d, %d} over %d joint strategies:\n", a, b, res.Tried)
+	fmt.Printf("  honest utilities: U_%d = %v, U_%d = %v (total %.4f)\n",
+		a, res.HonestA, b, res.HonestB, res.HonestA.Add(res.HonestB).Float64())
+	fmt.Printf("  best combined:    %v + %v = %.4f\n",
+		res.CombinedA, res.CombinedB, res.BestCombined.Float64())
+	fmt.Printf("  combined ratio:   %v ≈ %.4f  — far beyond 2\n",
+		res.CombinedRatio, res.CombinedRatio.Float64())
+	fmt.Printf("  individual externality: agent %d reaches %.2f× its honest utility\n",
+		a, res.RatioA.Float64())
+	fmt.Println("\nmechanism: the heavy partner dumps its endowment toward the light")
+	fmt.Println("agent's side of the ring; the light agent's identity harvests it.")
+	fmt.Println("Every number above is an exactly evaluated strategy — a rigorous")
+	fmt.Println("lower-bound certificate that Theorem 8 does not extend to coalitions.")
+}

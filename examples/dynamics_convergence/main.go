@@ -1,0 +1,66 @@
+// Dynamics convergence: measure how fast the proportional response
+// dynamics reaches the exact BD allocation (Proposition 6) on three
+// instance shapes — and expose the Θ(1/t) tail at a degenerate α = 1
+// equilibrium, where a transfer must decay to exactly zero.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	instances := []struct {
+		name string
+		g    *repro.Graph
+	}{
+		{"asymmetric ring  ", repro.Ring(repro.Ints(1, 7, 2, 9, 3))},
+		{"heavy-middle path", repro.Path(repro.Ints(1, 100, 2))},
+		{"degenerate ring  ", repro.Ring(repro.Ints(512, 512, 1024))},
+	}
+	const rounds = 1 << 14
+
+	fmt.Println("L∞ utility error vs exact equilibrium (Proposition 6):")
+	fmt.Printf("%-18s", "rounds")
+	for _, it := range instances {
+		fmt.Printf("  %-18s", it.name)
+	}
+	fmt.Println()
+
+	series := make([][]float64, len(instances))
+	for i, it := range instances {
+		dec, err := repro.Decompose(it.g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := repro.RunDynamics(it.g, repro.DynamicsOptions{
+			MaxRounds:       rounds,
+			Tol:             1e-300,
+			TargetUtilities: dec.Utilities(it.g),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		series[i] = res.UtilityError
+	}
+	for r := 1; r <= rounds; r *= 4 {
+		fmt.Printf("%-18d", r)
+		for i := range instances {
+			idx := r
+			if idx >= len(series[i]) {
+				idx = len(series[i]) - 1
+			}
+			fmt.Printf("  %-18.3e", series[i][idx])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("the first two instances decay geometrically; the degenerate ring")
+	fmt.Println("(equilibrium transfer exactly 0 between the two 512-peers) decays as Θ(1/t):")
+	deg := series[2]
+	for r := 1024; r <= rounds; r *= 4 {
+		fmt.Printf("  rounds ×4 → error ratio %.3f (≈ 4 for 1/t)\n", deg[r/4]/deg[r])
+	}
+}

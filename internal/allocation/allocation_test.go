@@ -1,0 +1,231 @@
+package allocation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bottleneck"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+func computeChecked(t *testing.T, g *graph.Graph) (*bottleneck.Decomposition, *Allocation) {
+	t.Helper()
+	d, err := bottleneck.Decompose(g)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	a, err := Compute(g, d)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if err := Audit(g, d, a); err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+	return d, a
+}
+
+func TestFig1Allocation(t *testing.T) {
+	g := graph.Fig1Graph()
+	d, a := computeChecked(t, g)
+	// Pair 1: B = {v1, v2} (w = 3 each), C = {v3} (w = 2), α = 1/3.
+	// v1 and v2 each send all 3 units to v3; v3 returns α·3 = 1 to each.
+	if !a.Get(0, 2).Equal(numeric.FromInt(3)) || !a.Get(1, 2).Equal(numeric.FromInt(3)) {
+		t.Errorf("B→C transfers: %v, %v", a.Get(0, 2), a.Get(1, 2))
+	}
+	if !a.Get(2, 0).Equal(numeric.One) || !a.Get(2, 1).Equal(numeric.One) {
+		t.Errorf("C→B transfers: %v, %v", a.Get(2, 0), a.Get(2, 1))
+	}
+	// No transfer across pairs: v3 - v4 is not inside any pair.
+	if !a.Get(2, 3).IsZero() || !a.Get(3, 2).IsZero() {
+		t.Errorf("cross-pair transfer: %v, %v", a.Get(2, 3), a.Get(3, 2))
+	}
+	// Utilities per Proposition 6.
+	wantU := []numeric.Rat{
+		numeric.One, numeric.One, numeric.FromInt(6),
+		numeric.One, numeric.One, numeric.One,
+	}
+	for v, want := range wantU {
+		if got := a.Utility(v); !got.Equal(want) {
+			t.Errorf("U_%d = %v, want %v", v, got, want)
+		}
+	}
+	_ = d
+}
+
+func TestCrossPairReciprocity(t *testing.T) {
+	// For α < 1 pairs, x_vu = α·x_uv on every B-C edge.
+	g := graph.Path(numeric.Ints(1, 100, 1))
+	d, a := computeChecked(t, g)
+	alpha := d.Pairs[0].Alpha
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		if d.ClassOf(u) == bottleneck.ClassC {
+			u, v = v, u
+		}
+		if d.ClassOf(u) == bottleneck.ClassB && d.ClassOf(v) == bottleneck.ClassC {
+			if !a.Get(v, u).Equal(alpha.Mul(a.Get(u, v))) {
+				t.Errorf("edge (%d,%d): x_vu = %v, α·x_uv = %v", u, v, a.Get(v, u), alpha.Mul(a.Get(u, v)))
+			}
+		}
+	}
+}
+
+func TestSelfPairTriangle(t *testing.T) {
+	g := graph.Complete(numeric.Ints(1, 1, 1))
+	_, a := computeChecked(t, g)
+	for v := 0; v < 3; v++ {
+		if !a.Utility(v).Equal(numeric.One) {
+			t.Errorf("U_%d = %v", v, a.Utility(v))
+		}
+		if !a.SentBy(v).Equal(numeric.One) {
+			t.Errorf("sent by %d = %v", v, a.SentBy(v))
+		}
+	}
+}
+
+func TestSelfPairUnevenEdge(t *testing.T) {
+	// Single edge with equal weights 2-2: α = 1, everything flows across.
+	g := graph.Path(numeric.Ints(2, 2))
+	_, a := computeChecked(t, g)
+	if !a.Get(0, 1).Equal(numeric.FromInt(2)) || !a.Get(1, 0).Equal(numeric.FromInt(2)) {
+		t.Errorf("transfers: %v, %v", a.Get(0, 1), a.Get(1, 0))
+	}
+}
+
+func TestRandomGraphsAuditAndConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 120; trial++ {
+		var g *graph.Graph
+		switch trial % 3 {
+		case 0:
+			g = graph.RandomRing(rng, rng.Intn(10)+3, graph.WeightDist(rng.Intn(4)))
+		case 1:
+			g = graph.Path(graph.RandomWeights(rng, rng.Intn(10)+2, graph.WeightDist(rng.Intn(4))))
+		default:
+			g = graph.RandomConnected(rng, rng.Intn(8)+2, 0.5, graph.WeightDist(rng.Intn(4)))
+		}
+		_, a := computeChecked(t, g)
+		if got := numeric.Sum(a.Utilities()); !got.Equal(g.TotalWeight()) {
+			t.Fatalf("trial %d: ΣU = %v ≠ Σw = %v", trial, got, g.TotalWeight())
+		}
+	}
+}
+
+func TestMismatchedDecompositionRejected(t *testing.T) {
+	g := graph.Ring(numeric.Ints(1, 2, 3, 4))
+	other := graph.Path(numeric.Ints(1, 2))
+	d, err := bottleneck.Decompose(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compute(g, d); err == nil {
+		t.Fatal("mismatched decomposition accepted")
+	}
+}
+
+func TestZeroWeightLeafAllocation(t *testing.T) {
+	// v1(0) - a(1) - b(3): zero-weight leaf trades nothing; a and b trade.
+	g := graph.Path([]numeric.Rat{numeric.Zero, numeric.One, numeric.FromInt(3)})
+	_, a := computeChecked(t, g)
+	if !a.Utility(0).IsZero() || !a.SentBy(0).IsZero() {
+		t.Errorf("zero-weight leaf trades: U=%v sent=%v", a.Utility(0), a.SentBy(0))
+	}
+	if !a.Get(2, 1).Equal(numeric.FromInt(3)) {
+		t.Errorf("b→a = %v", a.Get(2, 1))
+	}
+}
+
+func TestAllocationAccessors(t *testing.T) {
+	a := newAllocation(3)
+	a.Add(0, 1, numeric.One)
+	a.Add(0, 1, numeric.One)
+	if !a.Get(0, 1).Equal(numeric.Two) {
+		t.Errorf("Add: %v", a.Get(0, 1))
+	}
+	if a.Support() != 1 {
+		t.Errorf("Support = %d", a.Support())
+	}
+	a.set(0, 1, numeric.Zero)
+	if a.Support() != 0 {
+		t.Error("explicit zero kept in support")
+	}
+	if a.N() != 3 {
+		t.Errorf("N = %d", a.N())
+	}
+}
+
+func TestNegativeTransferPanics(t *testing.T) {
+	a := newAllocation(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative transfer accepted")
+		}
+	}()
+	a.Add(0, 1, numeric.FromInt(-1))
+}
+
+func TestQuickAllocationScaleEquivariance(t *testing.T) {
+	// Scaling every weight by c > 0 scales every transfer by c (the
+	// decomposition structure is scale-invariant and the flows are linear
+	// in the capacities — with our deterministic solver, exactly so).
+	f := func(seed int64, nRaw uint8, cNum, cDen uint8) bool {
+		n := int(nRaw)%6 + 3
+		c := numeric.New(int64(cNum)+1, int64(cDen)+1)
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomRing(rng, n, graph.DistUniform)
+		scaled := g.Clone()
+		for v := 0; v < n; v++ {
+			scaled.MustSetWeight(v, g.Weight(v).Mul(c))
+		}
+		d1, err := bottleneck.Decompose(g)
+		if err != nil {
+			return false
+		}
+		d2, err := bottleneck.Decompose(scaled)
+		if err != nil {
+			return false
+		}
+		a1, err := Compute(g, d1)
+		if err != nil {
+			return false
+		}
+		a2, err := Compute(scaled, d2)
+		if err != nil {
+			return false
+		}
+		for _, e := range g.Edges() {
+			u, v := e[0], e[1]
+			if !a2.Get(u, v).Equal(a1.Get(u, v).Mul(c)) || !a2.Get(v, u).Equal(a1.Get(v, u).Mul(c)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvenUnitRingAllocation(t *testing.T) {
+	// Unit ring of even length: α = 1, self-paired; every vertex must give
+	// away exactly 1 and receive exactly 1.
+	g := graph.Ring(numeric.Ints(1, 1, 1, 1, 1, 1))
+	_, a := computeChecked(t, g)
+	for v := 0; v < 6; v++ {
+		if !a.Utility(v).Equal(numeric.One) {
+			t.Errorf("U_%d = %v", v, a.Utility(v))
+		}
+	}
+}
+
+func TestOddUnitRingAllocation(t *testing.T) {
+	g := graph.Ring(numeric.Ints(1, 1, 1, 1, 1))
+	_, a := computeChecked(t, g)
+	for v := 0; v < 5; v++ {
+		if !a.Utility(v).Equal(numeric.One) {
+			t.Errorf("U_%d = %v", v, a.Utility(v))
+		}
+	}
+}

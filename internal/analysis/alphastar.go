@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/bottleneck"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// AlphaStar locates the exact crossing point x* of Proposition 11 Case B-3:
+// the report at which agent v's α-ratio reaches 1 and its class flips from
+// C to B. It returns the crossing as an exact rational (recovered with
+// Stern–Brocot snapping from a bisection bracket) together with the case
+// classification:
+//
+//   - CaseB1: v is C class for every report; x* does not exist (w_v is
+//     returned as the bracket edge).
+//   - CaseB2: v is B class for every report; x* = 0.
+//   - CaseB3: the crossing exists in (0, w_v]; x* is exact whenever it is
+//     the simplest rational inside the final bracket (always, in practice:
+//     breakpoints are ratios of small weight sums) and satisfies
+//     α_v(x*) = 1 exactly, which is verified before returning.
+func AlphaStar(g *graph.Graph, v int, bisectIters int) (numeric.Rat, AlphaCase, error) {
+	if v < 0 || v >= g.N() {
+		return numeric.Rat{}, CaseB1, fmt.Errorf("analysis: vertex %d out of range", v)
+	}
+	if bisectIters <= 0 {
+		bisectIters = 60
+	}
+	w := g.Weight(v)
+	if w.IsZero() {
+		return numeric.Rat{}, CaseB1, fmt.Errorf("analysis: zero-weight agent has no α curve")
+	}
+	classAt := func(x numeric.Rat) (bottleneck.Class, error) {
+		pt, err := evalReport(g, v, x)
+		if err != nil {
+			return bottleneck.ClassNone, err
+		}
+		return pt.Class, nil
+	}
+	top, err := classAt(w)
+	if err != nil {
+		return numeric.Rat{}, CaseB1, err
+	}
+	if top != bottleneck.ClassB {
+		// v never becomes strictly B class (a ClassBoth truthful report is
+		// the α = 1 plateau, counted as C by the paper's convention):
+		// Case B-1.
+		return w, CaseB1, nil
+	}
+	// Probe a tiny positive report: if already strictly B class, Case B-2.
+	tiny := w.DivInt(1 << 20)
+	low, err := classAt(tiny)
+	if err != nil {
+		return numeric.Rat{}, CaseB1, err
+	}
+	if low == bottleneck.ClassB {
+		return numeric.Zero, CaseB2, nil
+	}
+	// Bisect the boundary of the strictly-B region. α_v may sit at 1 on a
+	// whole plateau of ClassBoth reports; x* is the plateau's right edge,
+	// the last report with α_v = 1.
+	lo, hi := tiny, w
+	for it := 0; it < bisectIters && lo.Less(hi); it++ {
+		mid := lo.Add(hi).DivInt(2)
+		c, err := classAt(mid)
+		if err != nil {
+			return numeric.Rat{}, CaseB3, err
+		}
+		if c == bottleneck.ClassB {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	// The bracket (lo, hi) now pins the plateau's right edge: lo has
+	// α_v = 1 (class C or Both), hi is strictly B. The edge is a breakpoint
+	// — a ratio of weight sums — hence the simplest rational inside the
+	// bracket. Verify both halves of its defining property exactly.
+	if !lo.Less(hi) {
+		return numeric.Rat{}, CaseB3, fmt.Errorf("analysis: degenerate crossing bracket at %v", lo)
+	}
+	cand := numeric.SimplestBetween(lo, hi)
+	pt, err := evalReport(g, v, cand)
+	if err != nil {
+		return numeric.Rat{}, CaseB3, err
+	}
+	if !pt.Alpha.Equal(numeric.One) {
+		return numeric.Rat{}, CaseB3, fmt.Errorf("analysis: bracket (%v, %v) snapped to %v with α = %v ≠ 1",
+			lo, hi, cand, pt.Alpha)
+	}
+	above, err := evalReport(g, v, cand.Add(hi).DivInt(2))
+	if err != nil {
+		return numeric.Rat{}, CaseB3, err
+	}
+	if above.Class != bottleneck.ClassB {
+		return numeric.Rat{}, CaseB3, fmt.Errorf("analysis: %v is not the plateau edge (class %v just above)",
+			cand, above.Class)
+	}
+	return cand, CaseB3, nil
+}

@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bottleneck"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+func TestSampleCurveBasics(t *testing.T) {
+	g := graph.Ring(numeric.Ints(4, 1, 2, 3))
+	curve, err := SampleCurve(g, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 9 {
+		t.Fatalf("len = %d", len(curve))
+	}
+	if !curve[0].X.IsZero() || !curve[8].X.Equal(numeric.FromInt(4)) {
+		t.Fatalf("endpoints %v %v", curve[0].X, curve[8].X)
+	}
+	// The truthful endpoint must match the plain decomposition.
+	d, err := bottleneck.Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !curve[8].U.Equal(d.Utility(g, 0)) {
+		t.Fatalf("truthful sample %v != %v", curve[8].U, d.Utility(g, 0))
+	}
+}
+
+func TestSampleCurveErrors(t *testing.T) {
+	g := graph.Ring(numeric.Ints(1, 1, 1))
+	if _, err := SampleCurve(g, 7, 4); err == nil {
+		t.Error("bad vertex accepted")
+	}
+	if _, err := SampleCurve(g, 0, 0); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestTheorem10OnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		var g *graph.Graph
+		if trial%2 == 0 {
+			g = graph.RandomRing(rng, rng.Intn(8)+3, graph.WeightDist(rng.Intn(4)))
+		} else {
+			g = graph.RandomConnected(rng, rng.Intn(7)+2, 0.5, graph.WeightDist(rng.Intn(4)))
+		}
+		v := rng.Intn(g.N())
+		curve, err := SampleCurve(g, v, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyTheorem10(curve); err != nil {
+			t.Fatalf("trial %d (v=%d, w=%v): %v", trial, v, g.Weights(), err)
+		}
+	}
+}
+
+func TestVerifyTheorem10Detects(t *testing.T) {
+	bad := []CurvePoint{
+		{X: numeric.Zero, U: numeric.One},
+		{X: numeric.One, U: numeric.Zero},
+	}
+	if VerifyTheorem10(bad) == nil {
+		t.Fatal("violation not detected")
+	}
+}
+
+func TestAlphaCaseB1(t *testing.T) {
+	// A light vertex wedged between heavy neighbors stays in C class for
+	// every report: ring (x, 50, 1, 50) at v=0 — hmm, choose v light.
+	g := graph.Ring(numeric.Ints(2, 50, 50, 50))
+	curve, err := SampleCurve(g, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ClassifyAlphaCurve(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != CaseB1 {
+		t.Fatalf("case = %v, want B-1", c)
+	}
+}
+
+func TestAlphaCaseB2(t *testing.T) {
+	// Case B-2 needs v in B class even as x → 0⁺, which happens when v's
+	// whole neighborhood is already covered by another bottleneck's C side:
+	// on the path H(100) - u(1) - v(x) - u'(1) - H'(100), the maximal
+	// bottleneck is {H, v, H'} for every x ≥ 0 (v joins for free since
+	// Γ(v) = {u, u'} ⊆ C), so α_v(x) = 2/(200+x) is non-increasing and v
+	// stays in B class throughout.
+	g := graph.Path(numeric.Ints(100, 1, 4, 1, 100))
+	curve, err := SampleCurve(g, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ClassifyAlphaCurve(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != CaseB2 {
+		t.Fatalf("case = %v, want B-2", c)
+	}
+}
+
+func TestAlphaCaseB3(t *testing.T) {
+	// Heavy vertex on a light ring: C class for small reports, B class for
+	// large ones.
+	g := graph.Ring(numeric.Ints(40, 1, 1, 1, 1))
+	curve, err := SampleCurve(g, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ClassifyAlphaCurve(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != CaseB3 {
+		t.Fatalf("case = %v, want B-3", c)
+	}
+}
+
+func TestClassifyAlphaOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	seen := map[AlphaCase]int{}
+	for trial := 0; trial < 50; trial++ {
+		g := graph.RandomRing(rng, rng.Intn(8)+3, graph.WeightDist(rng.Intn(4)))
+		v := rng.Intn(g.N())
+		curve, err := SampleCurve(g, v, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := ClassifyAlphaCurve(curve)
+		if err != nil {
+			t.Fatalf("trial %d (v=%d, w=%v): %v", trial, v, g.Weights(), err)
+		}
+		seen[c]++
+	}
+	if len(seen) < 2 {
+		t.Errorf("expected at least two α-cases in 50 random rings: %v", seen)
+	}
+}
+
+func TestIntervalPartition(t *testing.T) {
+	g := graph.Ring(numeric.Ints(40, 1, 1, 1, 1))
+	ivs, err := IntervalPartition(g, 0, 32, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) < 2 {
+		t.Fatalf("expected multiple intervals for a heavy vertex, got %d", len(ivs))
+	}
+	if !ivs[0].Lo.IsZero() || !ivs[len(ivs)-1].Hi.Equal(numeric.FromInt(40)) {
+		t.Fatalf("span %v..%v", ivs[0].Lo, ivs[len(ivs)-1].Hi)
+	}
+	for i := 0; i+1 < len(ivs); i++ {
+		if ivs[i].Signature == ivs[i+1].Signature {
+			t.Errorf("adjacent intervals %d, %d share a signature", i, i+1)
+		}
+		if ivs[i+1].Lo.Less(ivs[i].Hi) {
+			t.Errorf("intervals overlap at %d", i)
+		}
+	}
+}
+
+func TestSweepTransitionsVerifiesProp12(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	events := 0
+	for trial := 0; trial < 25; trial++ {
+		g := graph.RandomRing(rng, rng.Intn(7)+3, graph.WeightDist(rng.Intn(3)))
+		v := rng.Intn(g.N())
+		log, err := SweepTransitions(g, v, 24, 40)
+		if err != nil {
+			t.Fatalf("trial %d (v=%d, w=%v): %v", trial, v, g.Weights(), err)
+		}
+		events += len(log.Transitions)
+	}
+	if events == 0 {
+		t.Error("no breakpoints observed across 25 random rings")
+	}
+}
+
+func TestLemma13OnRandomRings(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	checked := 0
+	for trial := 0; trial < 30; trial++ {
+		g := graph.RandomRing(rng, rng.Intn(7)+3, graph.WeightDist(rng.Intn(3)))
+		v := rng.Intn(g.N())
+		// Check Lemma 13 on each structure interval (class is constant
+		// there, trivially satisfying the precondition).
+		ivs, err := IntervalPartition(g, v, 16, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, iv := range ivs {
+			if iv.Lo.Equal(iv.Hi) {
+				continue
+			}
+			da, err := decAt(g, v, iv.Lo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := decAt(g, v, iv.Hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ca, cb := da.ClassOf(v), db.ClassOf(v)
+			if !(ca.IsB() && cb.IsB()) && !(ca.IsC() && cb.IsC()) {
+				continue // class flips exactly at a boundary sample
+			}
+			if err := VerifyLemma13(g, v, iv.Lo, iv.Hi); err != nil {
+				t.Fatalf("trial %d interval [%v, %v]: %v", trial, iv.Lo, iv.Hi, err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no Lemma 13 checks performed")
+	}
+}
+
+func TestLemma13AcrossClassStableSpan(t *testing.T) {
+	// Also check across multiple intervals when the class never flips.
+	g := graph.Ring(numeric.Ints(40, 1, 1, 1, 1))
+	curve, err := SampleCurve(g, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a maximal C-class prefix and check its span.
+	var a, b numeric.Rat
+	found := false
+	for _, pt := range curve[1:] {
+		if pt.Class.IsC() {
+			if !found {
+				a, found = pt.X, true
+			}
+			b = pt.X
+		} else {
+			break
+		}
+	}
+	if !found || a.Equal(b) {
+		t.Skip("no C-class span on this instance")
+	}
+	if err := VerifyLemma13(g, 0, a, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyProp12TransitionRejectsGarbage(t *testing.T) {
+	// Two unrelated decompositions must fail the check.
+	g1 := graph.Path(numeric.Ints(1, 100, 1))
+	g2 := graph.Path(numeric.Ints(1, 1, 100, 50, 2))
+	d1, err := bottleneck.Decompose(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := bottleneck.Decompose(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyProp12Transition(d1, d2, 1); err == nil {
+		t.Error("unrelated decompositions passed Prop 12 check")
+	}
+}
+
+func TestTransitionKindString(t *testing.T) {
+	if TransitionMerge.String() != "merge" || TransitionSplit.String() != "split" || TransitionNone.String() != "none" {
+		t.Error("TransitionKind.String wrong")
+	}
+}
+
+func TestAlphaContinuityAtBreakpoints(t *testing.T) {
+	// Fig. 3's α-coincidence: α_v is continuous across every structure
+	// breakpoint (the merging/splitting pairs' ratios meet there).
+	rng := rand.New(rand.NewSource(65))
+	checked := 0
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomRing(rng, rng.Intn(7)+3, graph.WeightDist(rng.Intn(3)))
+		v := rng.Intn(g.N())
+		ivs, err := IntervalPartition(g, v, 20, 44)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyAlphaContinuity(g, v, ivs, 1e-9); err != nil {
+			t.Fatalf("trial %d (w=%v, v=%d): %v", trial, g.Weights(), v, err)
+		}
+		checked += len(ivs) - 1
+	}
+	if checked == 0 {
+		t.Error("no breakpoints checked")
+	}
+}

@@ -1,0 +1,168 @@
+// Package analysis studies how the bottleneck decomposition, the α-ratio
+// and the utility of a single agent respond to its reported weight — the
+// single-parameter theory of Cheng et al. [7] (Section III-B of the paper)
+// that the incentive-ratio proof is built on:
+//
+//   - Theorem 10: U_v(x) is continuous and monotonically non-decreasing,
+//   - Proposition 11: α_v(x) follows one of three shapes (Cases B-1/B-2/B-3
+//     of Fig. 2) and v's class flips at most once, from C to B,
+//   - the interval partition {⟨a_i, b_i⟩} of [0, w_v] on which the
+//     decomposition structure B(x) is constant,
+//   - Proposition 12: at each breakpoint, the pair containing v merges with
+//     a neighbor pair or splits in two while every other pair is untouched
+//     (Fig. 3), and
+//   - Lemma 13: pairs on the far side of α_v are never impacted.
+//
+// Everything is verified with exact arithmetic on concrete instances; the
+// verifiers return detailed errors and are exercised by experiments
+// E2/E3/E8 and the test suite.
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/bottleneck"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// CurvePoint is one exact sample of the misreport curve of agent v.
+type CurvePoint struct {
+	X         numeric.Rat
+	U         numeric.Rat
+	Alpha     numeric.Rat
+	Class     bottleneck.Class
+	Signature string
+}
+
+// evalReport decomposes g with w_v := x and returns the sample.
+func evalReport(g *graph.Graph, v int, x numeric.Rat) (CurvePoint, error) {
+	gp := g.Clone()
+	gp.MustSetWeight(v, x)
+	d, err := bottleneck.Decompose(gp)
+	if err != nil {
+		return CurvePoint{}, fmt.Errorf("analysis: decomposing at x=%v: %w", x, err)
+	}
+	return CurvePoint{
+		X:         x,
+		U:         d.Utility(gp, v),
+		Alpha:     d.AlphaOf(v),
+		Class:     d.ClassOf(v),
+		Signature: d.StructureSignature(),
+	}, nil
+}
+
+// SampleCurve evaluates the misreport curve at samples+1 uniform exact
+// points x = w_v·i/samples, i = 0..samples.
+func SampleCurve(g *graph.Graph, v int, samples int) ([]CurvePoint, error) {
+	if v < 0 || v >= g.N() {
+		return nil, fmt.Errorf("analysis: vertex %d out of range", v)
+	}
+	if samples < 1 {
+		return nil, fmt.Errorf("analysis: need at least 1 sample")
+	}
+	w := g.Weight(v)
+	out := make([]CurvePoint, samples+1)
+	for i := 0; i <= samples; i++ {
+		pt, err := evalReport(g, v, w.MulInt(int64(i)).DivInt(int64(samples)))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pt
+	}
+	return out, nil
+}
+
+// VerifyTheorem10 checks monotonicity of U along the sampled curve: for
+// every consecutive pair, x_i < x_j must imply U_i ≤ U_j. (Continuity is a
+// property of the exact function; on samples we verify the monotone part.)
+func VerifyTheorem10(curve []CurvePoint) error {
+	for i := 0; i+1 < len(curve); i++ {
+		if curve[i+1].U.Less(curve[i].U) {
+			return fmt.Errorf("analysis: Theorem 10 violated: U(%v) = %v > U(%v) = %v",
+				curve[i].X, curve[i].U, curve[i+1].X, curve[i+1].U)
+		}
+	}
+	return nil
+}
+
+// AlphaCase is the Proposition 11 classification of α_v(x) (Fig. 2).
+type AlphaCase int
+
+const (
+	// CaseB1: α_v non-decreasing, v in C class everywhere.
+	CaseB1 AlphaCase = iota
+	// CaseB2: α_v non-increasing, v in B class everywhere.
+	CaseB2
+	// CaseB3: v in C class (α non-decreasing) before x*, B class
+	// (non-increasing) after.
+	CaseB3
+)
+
+// String names the case as in Fig. 2.
+func (c AlphaCase) String() string {
+	switch c {
+	case CaseB1:
+		return "Case B-1"
+	case CaseB2:
+		return "Case B-2"
+	case CaseB3:
+		return "Case B-3"
+	}
+	return fmt.Sprintf("AlphaCase(%d)", int(c))
+}
+
+// ClassifyAlphaCurve determines the Proposition 11 case of a sampled curve
+// and verifies the monotonicity pattern it promises. The x = 0 sample is
+// ignored for classification (a weightless agent's class is a boundary
+// convention), matching the proposition's open interval (0, x*).
+func ClassifyAlphaCurve(curve []CurvePoint) (AlphaCase, error) {
+	if len(curve) < 2 {
+		return CaseB1, fmt.Errorf("analysis: need at least 2 samples")
+	}
+	pts := curve
+	if pts[0].X.IsZero() && len(pts) > 2 {
+		pts = pts[1:]
+	}
+	// Locate the first strictly-B sample (class flips C → B at x*).
+	firstB := -1
+	for i, pt := range pts {
+		if pt.Class == bottleneck.ClassB {
+			firstB = i
+			break
+		}
+	}
+	// Verify class pattern: C-ish before firstB, B-ish after (ClassBoth is
+	// both, so it is allowed anywhere on the boundary).
+	for i, pt := range pts {
+		if firstB >= 0 && i >= firstB {
+			if !pt.Class.IsB() {
+				return CaseB1, fmt.Errorf("analysis: Prop 11 violated: class %v at x=%v after B at x=%v",
+					pt.Class, pt.X, pts[firstB].X)
+			}
+		} else if !pt.Class.IsC() {
+			return CaseB1, fmt.Errorf("analysis: Prop 11 violated: class %v at x=%v before any B", pt.Class, pt.X)
+		}
+	}
+	// Verify α monotonicity on each side.
+	for i := 0; i+1 < len(pts); i++ {
+		a, b := pts[i], pts[i+1]
+		inC := firstB == -1 || i+1 < firstB
+		if inC && b.Alpha.Less(a.Alpha) {
+			return CaseB1, fmt.Errorf("analysis: Prop 11 violated: α decreasing in C phase at x=%v (%v → %v)",
+				b.X, a.Alpha, b.Alpha)
+		}
+		if firstB >= 0 && i >= firstB && a.Alpha.Less(b.Alpha) {
+			return CaseB1, fmt.Errorf("analysis: Prop 11 violated: α increasing in B phase at x=%v (%v → %v)",
+				b.X, a.Alpha, b.Alpha)
+		}
+	}
+	switch {
+	case firstB == -1:
+		return CaseB1, nil
+	case firstB == 0:
+		return CaseB2, nil
+	default:
+		return CaseB3, nil
+	}
+}

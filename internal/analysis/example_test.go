@@ -1,0 +1,42 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// Classify the α-curve of a heavy vertex on a light ring (Fig. 2, Case B-3)
+// and locate its exact α = 1 crossing.
+func ExampleAlphaStar() {
+	g := graph.Ring(numeric.Ints(8, 1, 1, 1, 1))
+	x, c, err := analysis.AlphaStar(g, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c, "x* =", x)
+	// Output:
+	// Case B-3 x* = 2
+}
+
+// Partition the report range of an agent into intervals of constant
+// decomposition structure (Section III-B).
+func ExampleIntervalPartition() {
+	g := graph.Ring(numeric.Ints(8, 1, 1, 1, 1))
+	ivs, err := analysis.IntervalPartition(g, 0, 16, 40)
+	if err != nil {
+		panic(err)
+	}
+	for _, iv := range ivs {
+		kind := "interval"
+		if iv.Lo.Equal(iv.Hi) {
+			kind = "point"
+		}
+		fmt.Printf("%s [%0.3f, %0.3f]\n", kind, iv.Lo.Float64(), iv.Hi.Float64())
+	}
+	// Output:
+	// interval [0.000, 2.000]
+	// interval [2.000, 8.000]
+}

@@ -1,0 +1,439 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bottleneck"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// Interval is one maximal subinterval ⟨a_i, b_i⟩ of [0, w_v] on which the
+// decomposition structure B(x) is constant (Section III-B). Endpoints are
+// located by exact bisection to a configurable resolution, so Lo/Hi are
+// inner approximations of the true open interval.
+type Interval struct {
+	Lo, Hi    numeric.Rat
+	Signature string
+	// Mid is an exact representative, (Lo+Hi)/2.
+	Mid numeric.Rat
+}
+
+// IntervalPartition locates the structure intervals of agent v's misreport
+// curve: grid samples seed a worklist of segments whose endpoint signatures
+// differ; each segment is resolved by exact bisection against its left
+// signature, which finds the left region's right edge even when several
+// regions hide inside one grid cell (the remainder is re-queued). At every
+// edge the simplest rational in the bisection bracket (Stern–Brocot) is
+// probed: if it carries a third signature it is a singleton interval
+// ⟨a_i, a_i⟩ — e.g. the α_v = 1 crossing point x* of Proposition 11 Case
+// B-3 — and is emitted as a zero-width Interval.
+//
+// Signatures are assumed to occupy contiguous x-ranges (they do: each
+// structure persists on one interval per Section III-B); a region narrower
+// than w_v/(gridN·2^bisectIters) can still evade detection.
+func IntervalPartition(g *graph.Graph, v int, gridN, bisectIters int) ([]Interval, error) {
+	if gridN < 2 {
+		return nil, fmt.Errorf("analysis: grid must have at least 2 cells")
+	}
+	if bisectIters <= 0 {
+		bisectIters = 40
+	}
+	w := g.Weight(v)
+	sigAt := func(x numeric.Rat) (string, error) {
+		pt, err := evalReport(g, v, x)
+		if err != nil {
+			return "", err
+		}
+		return pt.Signature, nil
+	}
+	if w.IsZero() {
+		sig, err := sigAt(numeric.Zero)
+		if err != nil {
+			return nil, err
+		}
+		return []Interval{{Lo: numeric.Zero, Hi: numeric.Zero, Mid: numeric.Zero, Signature: sig}}, nil
+	}
+
+	type seg struct {
+		x0, x1 numeric.Rat
+		s0, s1 string
+	}
+	var stack []seg
+	prevX, prevSig := numeric.Zero, ""
+	for i := 0; i <= gridN; i++ {
+		x := w.MulInt(int64(i)).DivInt(int64(gridN))
+		sig, err := sigAt(x)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && sig != prevSig {
+			stack = append(stack, seg{x0: prevX, x1: x, s0: prevSig, s1: sig})
+		}
+		prevX, prevSig = x, sig
+	}
+
+	type bp struct {
+		leftEnd, rightStart numeric.Rat
+		singleton           *Interval
+	}
+	var bps []bp
+	const maxRegions = 4096
+	for len(stack) > 0 {
+		if len(bps) > maxRegions {
+			return nil, fmt.Errorf("analysis: more than %d structure regions; giving up", maxRegions)
+		}
+		sg := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		lo, hi, sigHi := sg.x0, sg.x1, sg.s1
+		for it := 0; it < bisectIters; it++ {
+			mid := lo.Add(hi).DivInt(2)
+			sig, err := sigAt(mid)
+			if err != nil {
+				return nil, err
+			}
+			if sig == sg.s0 {
+				lo = mid
+			} else {
+				hi, sigHi = mid, sig
+			}
+		}
+		rec := bp{leftEnd: lo, rightStart: hi}
+		if lo.Less(hi) {
+			cand := numeric.SimplestBetween(lo, hi)
+			sigC, err := sigAt(cand)
+			if err != nil {
+				return nil, err
+			}
+			switch sigC {
+			case sg.s0:
+				rec.leftEnd = cand
+			case sigHi:
+				rec.rightStart = cand
+			default:
+				rec.singleton = &Interval{Lo: cand, Hi: cand, Mid: cand, Signature: sigC}
+			}
+		}
+		bps = append(bps, rec)
+		if sigHi != sg.s1 {
+			stack = append(stack, seg{x0: rec.rightStart, x1: sg.x1, s0: sigHi, s1: sg.s1})
+		}
+	}
+	sort.Slice(bps, func(i, j int) bool { return bps[i].leftEnd.Less(bps[j].leftEnd) })
+
+	var out []Interval
+	start := numeric.Zero
+	emit := func(lo, hi numeric.Rat) error {
+		mid := lo.Add(hi).DivInt(2)
+		sig, err := sigAt(mid)
+		if err != nil {
+			return err
+		}
+		out = append(out, Interval{Lo: lo, Hi: hi, Mid: mid, Signature: sig})
+		return nil
+	}
+	for _, b := range bps {
+		if err := emit(start, b.leftEnd); err != nil {
+			return nil, err
+		}
+		if b.singleton != nil {
+			out = append(out, *b.singleton)
+		}
+		start = b.rightStart
+	}
+	if err := emit(start, w); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// pairKey canonicalizes a pair's vertex content.
+func pairKey(p bottleneck.Pair) string {
+	var b strings.Builder
+	b.WriteString("B")
+	for _, v := range p.B {
+		fmt.Fprintf(&b, ",%d", v)
+	}
+	b.WriteString("|C")
+	for _, v := range p.C {
+		fmt.Fprintf(&b, ",%d", v)
+	}
+	return b.String()
+}
+
+func unionSorted(a, b []int) []int {
+	out := append(append([]int{}, a...), b...)
+	sort.Ints(out)
+	// Pairs are disjoint, so no dedup is needed; keep it safe anyway.
+	uniq := out[:0]
+	for i, x := range out {
+		if i == 0 || x != out[i-1] {
+			uniq = append(uniq, x)
+		}
+	}
+	return uniq
+}
+
+func unionPair(p, q bottleneck.Pair) bottleneck.Pair {
+	return bottleneck.Pair{B: unionSorted(p.B, q.B), C: unionSorted(p.C, q.C)}
+}
+
+func samePairSets(p, q bottleneck.Pair) bool { return pairKey(p) == pairKey(q) }
+
+func selfPaired(p bottleneck.Pair) bool {
+	if len(p.B) != len(p.C) {
+		return false
+	}
+	for i := range p.B {
+		if p.B[i] != p.C[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// looseEqual compares pairs up to the α = 1 convention: when a pair's ratio
+// reaches 1 the decomposition presents it as a self-pair B = C over the same
+// member set, which Proposition 12 still counts as "the same pair".
+func looseEqual(p, q bottleneck.Pair) bool {
+	if samePairSets(p, q) {
+		return true
+	}
+	if selfPaired(p) || selfPaired(q) {
+		up := unionSorted(p.B, p.C)
+		uq := unionSorted(q.B, q.C)
+		if len(up) != len(uq) {
+			return false
+		}
+		for i := range up {
+			if up[i] != uq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// TransitionKind classifies what happens to the pair containing v across a
+// breakpoint (Proposition 12 / Fig. 3).
+type TransitionKind int
+
+const (
+	// TransitionNone: the pair is unchanged (the breakpoint reshuffled
+	// other pairs' α-order only — does not occur per Prop 12 but kept for
+	// reporting).
+	TransitionNone TransitionKind = iota
+	// TransitionMerge: v's pair on the left is the union of v's pair and a
+	// neighbor pair on the right (the pair decomposed as x grew).
+	TransitionMerge
+	// TransitionSplit: v's pair on the right is the union of v's pair and a
+	// neighbor pair on the left (pairs combined as x grew).
+	TransitionSplit
+)
+
+// String names the transition.
+func (k TransitionKind) String() string {
+	switch k {
+	case TransitionNone:
+		return "none"
+	case TransitionMerge:
+		return "merge"
+	case TransitionSplit:
+		return "split"
+	}
+	return fmt.Sprintf("TransitionKind(%d)", int(k))
+}
+
+// VerifyProp12Transition checks Proposition 12 for the decompositions on
+// the two sides of one breakpoint: v keeps its class, the pair containing v
+// either merges with an adjacent pair or splits into two (one keeping v),
+// and every pair not involved appears unchanged on both sides.
+func VerifyProp12Transition(left, right *bottleneck.Decomposition, v int) (TransitionKind, error) {
+	cl, cr := left.ClassOf(v), right.ClassOf(v)
+	classStable := (cl.IsB() && cr.IsB()) || (cl.IsC() && cr.IsC())
+	if !classStable {
+		return TransitionNone, fmt.Errorf("analysis: Prop 12-(1) violated: class %v → %v", cl, cr)
+	}
+	pl := left.Pairs[left.PairIndexOf(v)]
+	pr := right.Pairs[right.PairIndexOf(v)]
+
+	involvedLeft := map[string]bool{pairKey(pl): true}
+	involvedRight := map[string]bool{pairKey(pr): true}
+	var kind TransitionKind
+	switch {
+	case looseEqual(pl, pr):
+		kind = TransitionNone
+	default:
+		kind = 0
+		// Split as x grew: pl ∪ (some left neighbor pair) = pr.
+		li := left.PairIndexOf(v)
+		for _, di := range []int{-1, 1} {
+			if j := li + di; j >= 0 && j < len(left.Pairs) {
+				if looseEqual(unionPair(pl, left.Pairs[j]), pr) {
+					kind = TransitionSplit
+					involvedLeft[pairKey(left.Pairs[j])] = true
+				}
+			}
+		}
+		// Merge as x grew: pr ∪ (some right neighbor pair) = pl.
+		ri := right.PairIndexOf(v)
+		for _, di := range []int{-1, 1} {
+			if j := ri + di; j >= 0 && j < len(right.Pairs) {
+				if looseEqual(unionPair(pr, right.Pairs[j]), pl) {
+					kind = TransitionMerge
+					involvedRight[pairKey(right.Pairs[j])] = true
+				}
+			}
+		}
+		if kind == 0 {
+			return TransitionNone, fmt.Errorf("analysis: Prop 12-(2,3) violated: pair %v vs %v is neither a merge nor a split",
+				pl, pr)
+		}
+	}
+	// All other pairs must be identical on both sides.
+	leftKeys := map[string]bool{}
+	for _, p := range left.Pairs {
+		if !involvedLeft[pairKey(p)] {
+			leftKeys[pairKey(p)] = true
+		}
+	}
+	for _, p := range right.Pairs {
+		if involvedRight[pairKey(p)] {
+			continue
+		}
+		if !leftKeys[pairKey(p)] {
+			return kind, fmt.Errorf("analysis: Prop 12 violated: uninvolved pair %v appears only on the right", p)
+		}
+		delete(leftKeys, pairKey(p))
+	}
+	if len(leftKeys) != 0 {
+		return kind, fmt.Errorf("analysis: Prop 12 violated: %d uninvolved pairs vanish across the breakpoint", len(leftKeys))
+	}
+	return kind, nil
+}
+
+// TransitionLog records the Proposition 12 events along a misreport sweep
+// (the content of Fig. 3, experiment E3).
+type TransitionLog struct {
+	Intervals   []Interval
+	Transitions []TransitionKind
+}
+
+// SweepTransitions partitions [0, w_v] and verifies Proposition 12 at every
+// breakpoint, returning the full event log.
+func SweepTransitions(g *graph.Graph, v int, gridN, bisectIters int) (*TransitionLog, error) {
+	ivs, err := IntervalPartition(g, v, gridN, bisectIters)
+	if err != nil {
+		return nil, err
+	}
+	log := &TransitionLog{Intervals: ivs}
+	for i := 0; i+1 < len(ivs); i++ {
+		dl, err := decAt(g, v, ivs[i].Mid)
+		if err != nil {
+			return nil, err
+		}
+		dr, err := decAt(g, v, ivs[i+1].Mid)
+		if err != nil {
+			return nil, err
+		}
+		kind, err := VerifyProp12Transition(dl, dr, v)
+		if err != nil {
+			return nil, fmt.Errorf("breakpoint %d (x ≈ %v): %w", i, ivs[i].Hi, err)
+		}
+		log.Transitions = append(log.Transitions, kind)
+	}
+	return log, nil
+}
+
+func decAt(g *graph.Graph, v int, x numeric.Rat) (*bottleneck.Decomposition, error) {
+	gp := g.Clone()
+	gp.MustSetWeight(v, x)
+	return bottleneck.Decompose(gp)
+}
+
+// VerifyAlphaContinuity checks the α-coincidence Fig. 3 asserts at every
+// breakpoint: α_v(x) is continuous across the interval boundary — the
+// merged pair's ratio at the breakpoint matches the limits of the split
+// pairs' ratios from both sides. Exact verification needs the exact
+// breakpoint; IntervalPartition's inner endpoints bracket it to within
+// 2^-bisectIters, so the check evaluates α_v at both bracket ends and at
+// the simplest rational between them (the breakpoint itself when the snap
+// succeeds) and demands |α_left − α_right| shrink below tol while the
+// snapped point's α lies weakly between the two.
+func VerifyAlphaContinuity(g *graph.Graph, v int, ivs []Interval, tol float64) error {
+	for i := 0; i+1 < len(ivs); i++ {
+		lo, hi := ivs[i].Hi, ivs[i+1].Lo
+		ptL, err := evalReport(g, v, lo)
+		if err != nil {
+			return err
+		}
+		ptR, err := evalReport(g, v, hi)
+		if err != nil {
+			return err
+		}
+		aL, aR := ptL.Alpha.Float64(), ptR.Alpha.Float64()
+		gap := aR - aL
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap > tol {
+			return fmt.Errorf("analysis: α_v jumps by %v across breakpoint near %v (Fig. 3 coincidence violated)", gap, lo)
+		}
+		if lo.Less(hi) {
+			mid := numeric.SimplestBetween(lo, hi)
+			ptM, err := evalReport(g, v, mid)
+			if err != nil {
+				return err
+			}
+			aM := ptM.Alpha.Float64()
+			loA, hiA := aL, aR
+			if loA > hiA {
+				loA, hiA = hiA, loA
+			}
+			if aM < loA-tol || aM > hiA+tol {
+				return fmt.Errorf("analysis: α_v(%v) = %v outside its bracket [%v, %v]", mid, aM, loA, hiA)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyLemma13 checks, for an interval [a, b] on which v stays in one
+// class, that the pairs on the protected side of α_v are not impacted:
+// if v is C class, pairs of B(a) with α < α_v(a) survive into B(b)
+// unchanged; if v is B class, pairs of B(a) with α > α_v(a) survive.
+func VerifyLemma13(g *graph.Graph, v int, a, b numeric.Rat) error {
+	da, err := decAt(g, v, a)
+	if err != nil {
+		return err
+	}
+	db, err := decAt(g, v, b)
+	if err != nil {
+		return err
+	}
+	ca, cb := da.ClassOf(v), db.ClassOf(v)
+	if !(ca.IsB() && cb.IsB()) && !(ca.IsC() && cb.IsC()) {
+		return fmt.Errorf("analysis: Lemma 13 precondition fails: class %v at a, %v at b", ca, cb)
+	}
+	alphaV := da.AlphaOf(v)
+	inB := map[string]bool{}
+	for _, p := range db.Pairs {
+		inB[pairKey(p)] = true
+	}
+	for _, p := range da.Pairs {
+		protected := false
+		if ca.IsC() && p.Alpha.Less(alphaV) {
+			protected = true
+		}
+		if ca.IsB() && alphaV.Less(p.Alpha) {
+			protected = true
+		}
+		if protected && !inB[pairKey(p)] {
+			return fmt.Errorf("analysis: Lemma 13 violated: protected pair %v (α=%v) impacted", p, p.Alpha)
+		}
+	}
+	return nil
+}

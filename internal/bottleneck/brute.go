@@ -1,0 +1,101 @@
+package bottleneck
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// bruteMaxN bounds the exhaustive oracle; 2^16 subsets with exact
+// arithmetic is still instantaneous, larger graphs should use a real engine.
+const bruteMaxN = 16
+
+// bruteOracle solves the λ-subproblem by enumerating every subset. It is
+// the test oracle for the flow and DP engines.
+type bruteOracle struct {
+	g      *graph.Graph
+	nbMask []uint32 // bitmask of Γ(v)
+}
+
+func newBruteOracle(g *graph.Graph) (*bruteOracle, error) {
+	if g.N() > bruteMaxN {
+		return nil, fmt.Errorf("bottleneck: brute-force engine limited to %d vertices, got %d", bruteMaxN, g.N())
+	}
+	o := &bruteOracle{g: g, nbMask: make([]uint32, g.N())}
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			o.nbMask[v] |= 1 << uint(u)
+		}
+	}
+	return o, nil
+}
+
+// eval computes f_λ(S) for the subset encoded by mask.
+func (o *bruteOracle) eval(lambda numeric.Rat, mask uint32) numeric.Rat {
+	var gamma uint32
+	wS := numeric.Zero
+	for v := 0; v < o.g.N(); v++ {
+		if mask&(1<<uint(v)) != 0 {
+			gamma |= o.nbMask[v]
+			wS = wS.Add(o.g.Weight(v))
+		}
+	}
+	wG := numeric.Zero
+	for v := 0; v < o.g.N(); v++ {
+		if gamma&(1<<uint(v)) != 0 {
+			wG = wG.Add(o.g.Weight(v))
+		}
+	}
+	return wG.Sub(lambda.Mul(wS))
+}
+
+// minimum returns the subproblem minimum over all subsets.
+func (o *bruteOracle) minimum(lambda numeric.Rat) numeric.Rat {
+	n := o.g.N()
+	best := numeric.Zero // S = ∅
+	for mask := uint32(1); mask < 1<<uint(n); mask++ {
+		if v := o.eval(lambda, mask); v.Less(best) {
+			best = v
+		}
+	}
+	return best
+}
+
+func (o *bruteOracle) value(lambda numeric.Rat) (numeric.Rat, numeric.Rat) {
+	best := o.minimum(lambda)
+	// Weight of the heaviest minimizer (any minimizer serves Dinkelbach).
+	wS := numeric.Zero
+	n := o.g.N()
+	for mask := uint32(0); mask < 1<<uint(n); mask++ {
+		if !o.eval(lambda, mask).Equal(best) {
+			continue
+		}
+		w := numeric.Zero
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				w = w.Add(o.g.Weight(v))
+			}
+		}
+		wS = wS.Max(w)
+	}
+	return best, wS
+}
+
+func (o *bruteOracle) maximal(lambda numeric.Rat) []int {
+	best := o.minimum(lambda)
+	n := o.g.N()
+	var union uint32
+	for mask := uint32(0); mask < 1<<uint(n); mask++ {
+		if o.eval(lambda, mask).Equal(best) {
+			union |= mask
+		}
+	}
+	var S []int
+	for v := 0; v < n; v++ {
+		if union&(1<<uint(v)) != 0 {
+			S = append(S, v)
+		}
+	}
+	return S
+}

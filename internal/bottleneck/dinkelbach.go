@@ -1,0 +1,75 @@
+package bottleneck
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// minimizeOracle is the parametric subproblem behind the maximal-bottleneck
+// search: for a fixed λ ≥ 0, minimize f_λ(S) = w(Γ(S)) − λ·w(S) over all
+// vertex sets S (the empty set, of value 0, included).
+//
+// f_λ is submodular (w(Γ(·)) is submodular, λ·w(·) is modular), so its
+// minimizers form a lattice closed under union; the maximal minimizer is the
+// union of all minimizers, and at the optimal λ it is exactly the maximal
+// bottleneck of Definition 2.
+//
+// The two methods split the work so Dinkelbach's intermediate iterations
+// stay cheap: value reports the minimum together with the weight w(S) of a
+// minimizer (enough to update λ, since α(S) = λ + val/w(S)), while maximal
+// extracts the full maximal minimizer — needed only once, at the optimum.
+type minimizeOracle interface {
+	value(lambda numeric.Rat) (val, wS numeric.Rat)
+	maximal(lambda numeric.Rat) []int
+}
+
+// maxBottleneck runs Dinkelbach's parametric method: starting from
+// λ = α(V) ≤ 1 it alternates between solving the λ-subproblem and updating
+// λ ← α(S) for the returned minimizer S. Every iterate is an attained
+// α-value and strictly decreases, so with exact arithmetic the loop
+// terminates at λ* = min_S α(S) with the maximal bottleneck in hand.
+//
+// The graph must have positive total weight.
+func maxBottleneck(g *graph.Graph, o minimizeOracle, iterTrace func(lambda, value numeric.Rat)) (numeric.Rat, []int, error) {
+	wV := g.TotalWeight()
+	if wV.Sign() <= 0 {
+		return numeric.Rat{}, nil, fmt.Errorf("bottleneck: graph has zero total weight")
+	}
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	lambda := g.WeightOf(g.NeighborhoodSet(all)).Div(wV) // α(V) ≤ 1
+	for iter := 0; ; iter++ {
+		if iter > g.N()*g.N()+64 {
+			// Dinkelbach over exact rationals converges in far fewer steps;
+			// exceeding this bound means a solver bug, not a hard instance.
+			return numeric.Rat{}, nil, fmt.Errorf("bottleneck: Dinkelbach did not converge after %d iterations", iter)
+		}
+		val, wS := o.value(lambda)
+		if iterTrace != nil {
+			iterTrace(lambda, val)
+		}
+		if val.Sign() > 0 {
+			return numeric.Rat{}, nil, fmt.Errorf("bottleneck: subproblem returned positive minimum %v (∅ has value 0)", val)
+		}
+		if val.Sign() == 0 {
+			S := o.maximal(lambda)
+			if g.WeightOf(S).Sign() <= 0 {
+				return numeric.Rat{}, nil, fmt.Errorf("bottleneck: degenerate maximal minimizer at λ=%v", lambda)
+			}
+			return lambda, S, nil
+		}
+		// val < 0 forces w(S) > 0 (f(S) < 0 needs λ·w(S) > w(Γ(S)) ≥ 0).
+		if wS.Sign() <= 0 {
+			return numeric.Rat{}, nil, fmt.Errorf("bottleneck: negative minimum %v with zero-weight minimizer", val)
+		}
+		next := lambda.Add(val.Div(wS)) // = (λ·w(S) + f(S)) / w(S) = α(S)
+		if !next.Less(lambda) {
+			return numeric.Rat{}, nil, fmt.Errorf("bottleneck: Dinkelbach stalled at λ=%v (next=%v)", lambda, next)
+		}
+		lambda = next
+	}
+}

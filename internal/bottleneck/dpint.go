@@ -1,0 +1,469 @@
+package bottleneck
+
+import (
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// Integer fast path for the DP value passes.
+//
+// For λ = p/q and component weights w_i = n_i/D (common denominator D), the
+// subproblem costs are integer multiples of 1/(q·D): selecting vertex i
+// costs −p·n_i and charging it costs q·n_i. When the worst-case accumulated
+// magnitude (p+q)·Σn_i fits comfortably in int64, the whole forward pass
+// runs on machine integers — no gcd normalization, no allocation — and only
+// the final value is converted back to an exact rational. Typical
+// decompositions (integer weights, λ a ratio of weight sums) stay on this
+// path; breakpoint bisection with 2^-40-scale denominators falls back to
+// the exact rational DP.
+
+// intWeights returns the component weights scaled to a common denominator,
+// or ok=false when they don't fit int64.
+func (c dpComponent) intWeights() (scaled []int64, denom int64, ok bool) {
+	d := int64(1)
+	for _, w := range c.ws {
+		_, wd, fits := w.Int64Parts()
+		if !fits {
+			return nil, 0, false
+		}
+		g := gcdInt64(d, wd)
+		// d = lcm(d, wd), checked.
+		hi, lo := math.MaxInt64/(d/g), wd
+		if lo > hi {
+			return nil, 0, false
+		}
+		d = d / g * wd
+	}
+	scaled = make([]int64, len(c.ws))
+	for i, w := range c.ws {
+		wn, wd, _ := w.Int64Parts()
+		f := d / wd
+		if wn != 0 && f > math.MaxInt64/wn {
+			return nil, 0, false
+		}
+		scaled[i] = wn * f
+	}
+	return scaled, d, true
+}
+
+func gcdInt64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// intPlan is the prepared integer instance for one λ.
+type intPlan struct {
+	sel    []int64 // −p·n_i (cost of selecting i)
+	charge []int64 // q·n_i (Γ-charge of i)
+	wInt   []int64 // n_i (minimizer weight units)
+	scale  numeric.Rat
+	wDen   int64
+}
+
+// intPlanFor prepares the integer representation, or ok=false when any
+// magnitude risks overflow (a conservative 2^61 budget).
+func (c dpComponent) intPlanFor(lambda numeric.Rat) (intPlan, bool) {
+	p, q, fits := lambda.Int64Parts()
+	if !fits {
+		return intPlan{}, false
+	}
+	scaled, d, ok := c.intWeights()
+	if !ok {
+		return intPlan{}, false
+	}
+	var sum float64
+	for _, n := range scaled {
+		sum += float64(n)
+	}
+	if (float64(p)+float64(q))*(sum+1) > 1e18 {
+		return intPlan{}, false
+	}
+	plan := intPlan{
+		sel:    make([]int64, len(scaled)),
+		charge: make([]int64, len(scaled)),
+		wInt:   scaled,
+		wDen:   d,
+	}
+	for i, n := range scaled {
+		plan.sel[i] = -p * n
+		plan.charge[i] = q * n
+	}
+	// Costs are in units of 1/(q·D); rebuild exactly from (q, d) rationals
+	// to avoid an int64 overflow in q·d itself.
+	plan.scale = numeric.New(1, q).Mul(numeric.New(1, d))
+	return plan, true
+}
+
+// intCell mirrors costW on machine integers.
+type intCell struct {
+	cost, wS int64
+	ok       bool
+}
+
+func (a intCell) better(b intCell) bool {
+	if !b.ok {
+		return a.ok
+	}
+	if !a.ok {
+		return false
+	}
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	return a.wS > b.wS
+}
+
+func (c dpComponent) pathValueInt(pl intPlan) costW {
+	m := len(c.order)
+	var dp [2][2]intCell
+	dp[0][0] = intCell{ok: true}
+	dp[0][1] = intCell{cost: pl.sel[0], wS: pl.wInt[0], ok: true}
+	for i := 0; i+1 < m; i++ {
+		var ndp [2][2]intCell
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				if !dp[a][b].ok {
+					continue
+				}
+				for cb := 0; cb < 2; cb++ {
+					cand := dp[a][b]
+					if a == 1 || cb == 1 {
+						cand.cost += pl.charge[i]
+					}
+					if cb == 1 {
+						cand.cost += pl.sel[i+1]
+						cand.wS += pl.wInt[i+1]
+					}
+					if cand.better(ndp[b][cb]) {
+						ndp[b][cb] = cand
+					}
+				}
+			}
+		}
+		dp = ndp
+	}
+	best := intCell{}
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			if !dp[a][b].ok {
+				continue
+			}
+			cand := dp[a][b]
+			if a == 1 {
+				cand.cost += pl.charge[m-1]
+			}
+			if cand.better(best) {
+				best = cand
+			}
+		}
+	}
+	return pl.toCostW(best)
+}
+
+func (c dpComponent) cycleValueInt(pl intPlan) costW {
+	m := len(c.order)
+	best := intCell{}
+	for s0 := 0; s0 < 2; s0++ {
+		for s1 := 0; s1 < 2; s1++ {
+			var dp [2][2]intCell
+			init := intCell{ok: true}
+			if s0 == 1 {
+				init.cost += pl.sel[0]
+				init.wS += pl.wInt[0]
+			}
+			if s1 == 1 {
+				init.cost += pl.sel[1]
+				init.wS += pl.wInt[1]
+			}
+			dp[s0][s1] = init
+			for i := 1; i+1 < m; i++ {
+				var ndp [2][2]intCell
+				for a := 0; a < 2; a++ {
+					for b := 0; b < 2; b++ {
+						if !dp[a][b].ok {
+							continue
+						}
+						for cb := 0; cb < 2; cb++ {
+							cand := dp[a][b]
+							if a == 1 || cb == 1 {
+								cand.cost += pl.charge[i]
+							}
+							if cb == 1 {
+								cand.cost += pl.sel[i+1]
+								cand.wS += pl.wInt[i+1]
+							}
+							if cand.better(ndp[b][cb]) {
+								ndp[b][cb] = cand
+							}
+						}
+					}
+				}
+				dp = ndp
+			}
+			for a := 0; a < 2; a++ {
+				for b := 0; b < 2; b++ {
+					if !dp[a][b].ok {
+						continue
+					}
+					cand := dp[a][b]
+					if a == 1 || s0 == 1 {
+						cand.cost += pl.charge[m-1]
+					}
+					if s1 == 1 || b == 1 {
+						cand.cost += pl.charge[0]
+					}
+					if cand.better(best) {
+						best = cand
+					}
+				}
+			}
+		}
+	}
+	return pl.toCostW(best)
+}
+
+// toCostW converts an integer cell back to exact rationals.
+func (pl intPlan) toCostW(c intCell) costW {
+	if !c.ok {
+		panic("bottleneck: infeasible integer DP")
+	}
+	return costW{
+		cost: numeric.FromInt(c.cost).Mul(pl.scale),
+		wS:   numeric.New(c.wS, pl.wDen),
+		ok:   true,
+	}
+}
+
+// pathMembershipInt mirrors pathMembership on machine integers: one forward
+// and one backward sweep plus per-position gluing.
+func (c dpComponent) pathMembershipInt(pl intPlan) (numeric.Rat, []bool) {
+	m := len(c.order)
+	fwd := make([][2][2]intCell, m)
+	fwd[0][0][0] = intCell{ok: true}
+	fwd[0][0][1] = intCell{cost: pl.sel[0], ok: true}
+	for i := 0; i+1 < m; i++ {
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				if !fwd[i][a][b].ok {
+					continue
+				}
+				for cb := 0; cb < 2; cb++ {
+					cand := fwd[i][a][b]
+					if a == 1 || cb == 1 {
+						cand.cost += pl.charge[i]
+					}
+					if cb == 1 {
+						cand.cost += pl.sel[i+1]
+					}
+					if cand.better(fwd[i+1][b][cb]) {
+						fwd[i+1][b][cb] = cand
+					}
+				}
+			}
+		}
+	}
+	bwd := make([][2][2]intCell, m)
+	for b := 0; b < 2; b++ {
+		bwd[m-1][b][0] = intCell{ok: true}
+	}
+	for i := m - 2; i >= 0; i-- {
+		for b := 0; b < 2; b++ {
+			for cb := 0; cb < 2; cb++ {
+				best := intCell{}
+				for d := 0; d < 2; d++ {
+					if !bwd[i+1][cb][d].ok {
+						continue
+					}
+					cand := bwd[i+1][cb][d]
+					if b == 1 || d == 1 {
+						cand.cost += pl.charge[i+1]
+					}
+					if cand.better(best) {
+						best = cand
+					}
+				}
+				if best.ok {
+					if cb == 1 {
+						best.cost += pl.sel[i+1]
+					}
+					bwd[i][b][cb] = best
+				}
+			}
+		}
+	}
+	atPos := func(i, bFixed int) intCell {
+		best := intCell{}
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				if bFixed >= 0 && b != bFixed {
+					continue
+				}
+				if !fwd[i][a][b].ok {
+					continue
+				}
+				for cb := 0; cb < 2; cb++ {
+					if !bwd[i][b][cb].ok {
+						continue
+					}
+					cand := intCell{cost: fwd[i][a][b].cost + bwd[i][b][cb].cost, ok: true}
+					if a == 1 || cb == 1 {
+						cand.cost += pl.charge[i]
+					}
+					if cand.better(best) {
+						best = cand
+					}
+				}
+			}
+		}
+		return best
+	}
+	globalMin := atPos(0, -1)
+	members := make([]bool, m)
+	for i := 0; i < m; i++ {
+		with := atPos(i, 1)
+		members[i] = with.ok && with.cost == globalMin.cost
+	}
+	return numeric.FromInt(globalMin.cost).Mul(pl.scale), members
+}
+
+// cycleMembershipInt mirrors cycleMembership on machine integers.
+func (c dpComponent) cycleMembershipInt(pl intPlan) (numeric.Rat, []bool) {
+	m := len(c.order)
+	globalMin := intCell{}
+	memberMin := make([]intCell, m)
+
+	for s0 := 0; s0 < 2; s0++ {
+		for s1 := 0; s1 < 2; s1++ {
+			fwd := make([][2][2]intCell, m)
+			init := intCell{ok: true}
+			if s0 == 1 {
+				init.cost += pl.sel[0]
+			}
+			if s1 == 1 {
+				init.cost += pl.sel[1]
+			}
+			fwd[1][s0][s1] = init
+			for i := 1; i+1 < m; i++ {
+				for a := 0; a < 2; a++ {
+					for b := 0; b < 2; b++ {
+						if !fwd[i][a][b].ok {
+							continue
+						}
+						for cb := 0; cb < 2; cb++ {
+							cand := fwd[i][a][b]
+							if a == 1 || cb == 1 {
+								cand.cost += pl.charge[i]
+							}
+							if cb == 1 {
+								cand.cost += pl.sel[i+1]
+							}
+							if cand.better(fwd[i+1][b][cb]) {
+								fwd[i+1][b][cb] = cand
+							}
+						}
+					}
+				}
+			}
+			bwd := make([][2][2]intCell, m)
+			for b := 0; b < 2; b++ {
+				for cb := 0; cb < 2; cb++ {
+					cell := intCell{ok: true}
+					if cb == 1 {
+						cell.cost += pl.sel[m-1]
+					}
+					if b == 1 || s0 == 1 {
+						cell.cost += pl.charge[m-1]
+					}
+					if s1 == 1 || cb == 1 {
+						cell.cost += pl.charge[0]
+					}
+					bwd[m-2][b][cb] = cell
+				}
+			}
+			for i := m - 3; i >= 1; i-- {
+				for b := 0; b < 2; b++ {
+					for cb := 0; cb < 2; cb++ {
+						best := intCell{}
+						for d := 0; d < 2; d++ {
+							if !bwd[i+1][cb][d].ok {
+								continue
+							}
+							cand := bwd[i+1][cb][d]
+							if b == 1 || d == 1 {
+								cand.cost += pl.charge[i+1]
+							}
+							if cand.better(best) {
+								best = cand
+							}
+						}
+						if best.ok {
+							if cb == 1 {
+								best.cost += pl.sel[i+1]
+							}
+							bwd[i][b][cb] = best
+						}
+					}
+				}
+			}
+			glue := func(i, bFixed, cFixed int) intCell {
+				best := intCell{}
+				for a := 0; a < 2; a++ {
+					for b := 0; b < 2; b++ {
+						if bFixed >= 0 && b != bFixed {
+							continue
+						}
+						if !fwd[i][a][b].ok {
+							continue
+						}
+						for cb := 0; cb < 2; cb++ {
+							if cFixed >= 0 && cb != cFixed {
+								continue
+							}
+							if !bwd[i][b][cb].ok {
+								continue
+							}
+							cand := intCell{cost: fwd[i][a][b].cost + bwd[i][b][cb].cost, ok: true}
+							if a == 1 || cb == 1 {
+								cand.cost += pl.charge[i]
+							}
+							if cand.better(best) {
+								best = cand
+							}
+						}
+					}
+				}
+				return best
+			}
+			free := glue(1, -1, -1)
+			if free.better(globalMin) {
+				globalMin = free
+			}
+			update := func(i int, v intCell) {
+				if v.better(memberMin[i]) {
+					memberMin[i] = v
+				}
+			}
+			if s0 == 1 {
+				update(0, free)
+			}
+			if s1 == 1 {
+				update(1, free)
+			}
+			for i := 2; i <= m-2; i++ {
+				update(i, glue(i, 1, -1))
+			}
+			update(m-1, glue(m-2, -1, 1))
+		}
+	}
+	members := make([]bool, m)
+	for i := range members {
+		members[i] = memberMin[i].ok && memberMin[i].cost == globalMin.cost
+	}
+	return numeric.FromInt(globalMin.cost).Mul(pl.scale), members
+}

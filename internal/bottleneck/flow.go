@@ -1,0 +1,58 @@
+package bottleneck
+
+import (
+	"repro/internal/graph"
+	"repro/internal/maxflow"
+	"repro/internal/numeric"
+)
+
+// flowOracle solves the λ-subproblem by max-flow min-cut on the standard
+// parametric network (DESIGN.md §3.1):
+//
+//	source → L(v) with capacity λ·w_v        (pay to exclude v from S)
+//	R(u)   → sink with capacity w_u          (pay if u ∈ Γ(S))
+//	L(v)   → R(u) with capacity ∞ for u ∈ Γ(v)
+//
+// A finite cut keeps a set A of L-vertices on the source side and must then
+// cut the sink arcs of all R(u), u ∈ Γ(A), so
+// mincut = λ·w(V) + min_A [w(Γ(A)) − λ·w(A)]. The maximal source side of
+// the min cut restricted to L-vertices is the maximal minimizer.
+type flowOracle struct {
+	g    *graph.Graph
+	algo maxflow.Algorithm
+}
+
+// solve builds and solves the λ-network, returning the subproblem value and
+// the maximal minimizer.
+func (o flowOracle) solve(lambda numeric.Rat) (numeric.Rat, []int) {
+	n := o.g.N()
+	s, t := 2*n, 2*n+1
+	nw := maxflow.NewNetwork(2*n+2, s, t)
+	for v := 0; v < n; v++ {
+		nw.AddEdge(s, v, maxflow.Finite(lambda.Mul(o.g.Weight(v))))
+		nw.AddEdge(n+v, t, maxflow.Finite(o.g.Weight(v)))
+		for _, u := range o.g.Neighbors(v) {
+			nw.AddEdge(v, n+u, maxflow.Inf)
+		}
+	}
+	flowVal := nw.Solve(o.algo)
+	val := flowVal.Sub(lambda.Mul(o.g.TotalWeight()))
+	side := nw.MinCutSourceSide(true)
+	var S []int
+	for v := 0; v < n; v++ {
+		if side[v] {
+			S = append(S, v)
+		}
+	}
+	return val, S
+}
+
+func (o flowOracle) value(lambda numeric.Rat) (numeric.Rat, numeric.Rat) {
+	val, S := o.solve(lambda)
+	return val, o.g.WeightOf(S)
+}
+
+func (o flowOracle) maximal(lambda numeric.Rat) []int {
+	_, S := o.solve(lambda)
+	return S
+}

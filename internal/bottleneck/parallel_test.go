@@ -1,0 +1,187 @@
+package bottleneck
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// randomDisconnected builds a graph of several independent components.
+func randomDisconnected(rng *rand.Rand) *graph.Graph {
+	parts := rng.Intn(3) + 2
+	var sizes []int
+	total := 0
+	for i := 0; i < parts; i++ {
+		s := rng.Intn(5) + 2
+		sizes = append(sizes, s)
+		total += s
+	}
+	g := graph.New(total)
+	base := 0
+	for _, s := range sizes {
+		ws := graph.RandomWeights(rng, s, graph.WeightDist(rng.Intn(4)))
+		for i, w := range ws {
+			g.MustSetWeight(base+i, w)
+		}
+		switch rng.Intn(3) {
+		case 0: // path
+			for i := 0; i+1 < s; i++ {
+				g.MustAddEdge(base+i, base+i+1)
+			}
+		case 1: // ring (needs ≥ 3)
+			for i := 0; i+1 < s; i++ {
+				g.MustAddEdge(base+i, base+i+1)
+			}
+			if s >= 3 {
+				g.MustAddEdge(base, base+s-1)
+			}
+		default: // star
+			for i := 1; i < s; i++ {
+				g.MustAddEdge(base, base+i)
+			}
+		}
+		base += s
+	}
+	return g
+}
+
+func TestDecomposeParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	for trial := 0; trial < 60; trial++ {
+		g := randomDisconnected(rng)
+		seq, err := DecomposeWith(g, EngineAuto)
+		if err != nil {
+			t.Fatalf("trial %d sequential: %v", trial, err)
+		}
+		parl, err := DecomposeParallel(g, EngineAuto, 4)
+		if err != nil {
+			t.Fatalf("trial %d parallel: %v", trial, err)
+		}
+		if !decompositionsEqual(seq, parl) {
+			t.Fatalf("trial %d: parallel %v != sequential %v (weights %v, edges %v)",
+				trial, parl, seq, g.Weights(), g.Edges())
+		}
+	}
+}
+
+func TestDecomposeParallelConnectedDelegates(t *testing.T) {
+	g := graph.Ring(numeric.Ints(1, 100, 1, 5, 5))
+	seq, err := DecomposeWith(g, EngineAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parl, err := DecomposeParallel(g, EngineAuto, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decompositionsEqual(seq, parl) {
+		t.Fatal("connected graph decomposition differs")
+	}
+}
+
+func TestDecomposeParallelMergesEqualAlphaTies(t *testing.T) {
+	// Two identical heavy-middle paths in one graph: their bottlenecks tie
+	// at α = 1/50 and must merge into a single pair, exactly as the global
+	// sequential extraction does.
+	g := graph.New(6)
+	for _, base := range []int{0, 3} {
+		g.MustSetWeight(base, numeric.One)
+		g.MustSetWeight(base+1, numeric.FromInt(100))
+		g.MustSetWeight(base+2, numeric.One)
+		g.MustAddEdge(base, base+1)
+		g.MustAddEdge(base+1, base+2)
+	}
+	parl, err := DecomposeParallel(g, EngineAuto, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parl.Pairs) != 1 {
+		t.Fatalf("expected one merged pair, got %v", parl)
+	}
+	if len(parl.Pairs[0].B) != 2 || len(parl.Pairs[0].C) != 4 {
+		t.Fatalf("merged pair wrong: %v", parl.Pairs[0])
+	}
+	seq, err := DecomposeWith(g, EngineAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decompositionsEqual(seq, parl) {
+		t.Fatalf("tie merge differs from sequential: %v vs %v", parl, seq)
+	}
+}
+
+func TestDecomposeParallelEmptyGraph(t *testing.T) {
+	if _, err := DecomposeParallel(graph.New(0), EngineAuto, 2); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestDecompositionIsRelabelingEquivariant(t *testing.T) {
+	// Relabeling the vertices by a permutation π must permute the
+	// decomposition: pairs map setwise through π with identical α's.
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(8) + 3
+		g := graph.RandomRing(rng, n, graph.WeightDist(rng.Intn(3)))
+		perm := rng.Perm(n)
+		h := graph.New(n)
+		for v := 0; v < n; v++ {
+			h.MustSetWeight(perm[v], g.Weight(v))
+		}
+		for _, e := range g.Edges() {
+			h.MustAddEdge(perm[e[0]], perm[e[1]])
+		}
+		dg, err := Decompose(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dh, err := Decompose(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dg.Pairs) != len(dh.Pairs) {
+			t.Fatalf("trial %d: pair counts differ", trial)
+		}
+		mapSet := func(xs []int) map[int]bool {
+			out := map[int]bool{}
+			for _, x := range xs {
+				out[perm[x]] = true
+			}
+			return out
+		}
+		for i := range dg.Pairs {
+			if !dg.Pairs[i].Alpha.Equal(dh.Pairs[i].Alpha) {
+				t.Fatalf("trial %d pair %d: α differs", trial, i)
+			}
+			wantB, wantC := mapSet(dg.Pairs[i].B), mapSet(dg.Pairs[i].C)
+			if len(wantB) != len(dh.Pairs[i].B) || len(wantC) != len(dh.Pairs[i].C) {
+				t.Fatalf("trial %d pair %d: sizes differ", trial, i)
+			}
+			for _, v := range dh.Pairs[i].B {
+				if !wantB[v] {
+					t.Fatalf("trial %d pair %d: B not equivariant", trial, i)
+				}
+			}
+			for _, v := range dh.Pairs[i].C {
+				if !wantC[v] {
+					t.Fatalf("trial %d pair %d: C not equivariant", trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestUnionSortedInts(t *testing.T) {
+	got := unionSortedInts([]int{1, 4, 9}, []int{2, 3, 10})
+	want := []int{1, 2, 3, 4, 9, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	if len(unionSortedInts(nil, nil)) != 0 {
+		t.Fatal("empty union wrong")
+	}
+}

@@ -1,0 +1,72 @@
+package bottleneck
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// TraceKind tags a decomposition trace event.
+type TraceKind int
+
+const (
+	// TraceStageStart fires when a new residual graph is about to be solved.
+	TraceStageStart TraceKind = iota
+	// TraceDinkelbachIter fires per parametric iteration with the current
+	// λ and the subproblem minimum g(λ).
+	TraceDinkelbachIter
+	// TraceStageExtracted fires when a bottleneck pair is committed.
+	TraceStageExtracted
+)
+
+// String names the event kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceStageStart:
+		return "stage-start"
+	case TraceDinkelbachIter:
+		return "dinkelbach-iter"
+	case TraceStageExtracted:
+		return "stage-extracted"
+	}
+	return fmt.Sprintf("TraceKind(%d)", int(k))
+}
+
+// TraceEvent is one observation of the decomposition in progress. Vertex
+// indices are in the ORIGINAL graph's numbering.
+type TraceEvent struct {
+	Kind TraceKind
+	// Stage is the 1-based index of the pair being worked on.
+	Stage int
+	// Remaining is the residual vertex count at the event.
+	Remaining int
+	// Lambda and Value are set on TraceDinkelbachIter: the current ratio
+	// candidate and the subproblem minimum g(λ) (0 exactly at termination).
+	Lambda, Value numeric.Rat
+	// Pair is set on TraceStageExtracted.
+	Pair *Pair
+}
+
+// TraceFunc observes decomposition events; it must not retain Pair.
+type TraceFunc func(TraceEvent)
+
+// String renders the event for logs.
+func (e TraceEvent) String() string {
+	switch e.Kind {
+	case TraceStageStart:
+		return fmt.Sprintf("stage %d: solving residual graph of %d vertices", e.Stage, e.Remaining)
+	case TraceDinkelbachIter:
+		return fmt.Sprintf("stage %d: λ = %s, g(λ) = %s", e.Stage, e.Lambda, e.Value)
+	case TraceStageExtracted:
+		return fmt.Sprintf("stage %d: extracted %s", e.Stage, *e.Pair)
+	}
+	return "unknown trace event"
+}
+
+// DecomposeTraced is DecomposeWith with an observer: every Dinkelbach
+// iteration and extracted pair is reported through trace. The zero-weight
+// convention pass is silent (it performs no parametric work).
+func DecomposeTraced(g *graph.Graph, engine Engine, trace TraceFunc) (*Decomposition, error) {
+	return decomposeInner(g, engine, trace)
+}

@@ -1,0 +1,86 @@
+package bottleneck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+func TestDecomposeTracedEmitsEvents(t *testing.T) {
+	g := graph.Ring(numeric.Ints(1, 100, 1, 5, 5))
+	var events []TraceEvent
+	d, err := DecomposeTraced(g, EngineAuto, func(e TraceEvent) {
+		events = append(events, e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must match the untraced result exactly.
+	plain, err := Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decompositionsEqual(d, plain) {
+		t.Fatal("traced decomposition differs from plain")
+	}
+	starts, iters, extracted := 0, 0, 0
+	for _, e := range events {
+		switch e.Kind {
+		case TraceStageStart:
+			starts++
+		case TraceDinkelbachIter:
+			iters++
+			if e.Lambda.Sign() <= 0 {
+				t.Fatalf("non-positive λ in trace: %v", e)
+			}
+			if e.Value.Sign() > 0 {
+				t.Fatalf("positive subproblem minimum in trace: %v", e)
+			}
+		case TraceStageExtracted:
+			extracted++
+			if e.Pair == nil {
+				t.Fatal("extracted event without pair")
+			}
+		}
+	}
+	if starts != len(d.Pairs) || extracted != len(d.Pairs) {
+		t.Fatalf("starts=%d extracted=%d pairs=%d", starts, extracted, len(d.Pairs))
+	}
+	if iters < len(d.Pairs) {
+		t.Fatalf("expected at least one Dinkelbach iteration per stage, got %d", iters)
+	}
+	// The last iteration of every stage must report g(λ) = 0 exactly.
+	var lastPerStage = map[int]numeric.Rat{}
+	for _, e := range events {
+		if e.Kind == TraceDinkelbachIter {
+			lastPerStage[e.Stage] = e.Value
+		}
+	}
+	for stage, v := range lastPerStage {
+		if !v.IsZero() {
+			t.Fatalf("stage %d final g(λ) = %v, want 0", stage, v)
+		}
+	}
+}
+
+func TestTraceEventStrings(t *testing.T) {
+	p := Pair{B: []int{1}, C: []int{0, 2}, Alpha: numeric.New(1, 50)}
+	cases := []struct {
+		e    TraceEvent
+		want string
+	}{
+		{TraceEvent{Kind: TraceStageStart, Stage: 1, Remaining: 5}, "stage 1: solving residual graph of 5 vertices"},
+		{TraceEvent{Kind: TraceDinkelbachIter, Stage: 2, Lambda: numeric.One, Value: numeric.Zero}, "stage 2: λ = 1, g(λ) = 0"},
+		{TraceEvent{Kind: TraceStageExtracted, Stage: 1, Pair: &p}, "stage 1: extracted (B{1}, C{0,2}, α=1/50)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	if !strings.Contains(TraceStageStart.String(), "stage-start") {
+		t.Error("TraceKind.String wrong")
+	}
+}

@@ -1,0 +1,172 @@
+// Package core implements the paper's primary contribution: the analysis of
+// a Sybil attack against the BD Allocation Mechanism on ring networks, whose
+// incentive ratio Theorem 8 pins to exactly 2.
+//
+// An Instance fixes a ring G and a manipulative agent v. Splitting v into
+// two identities v¹, v² (one per ring neighbor) turns the ring into the
+// path P_v(w1, w2) with the identities as leaves. The package provides:
+//
+//   - exact evaluation of any split (and of the paper's off-simplex
+//     intermediate configurations P_v(w1, w2) with w1 + w2 ≠ w_v used by the
+//     two-stage proof),
+//   - the honest split (w1⁰, w2⁰) of Lemma 9, read off the exact BD
+//     allocation of the ring,
+//   - a piece-aware optimizer for the attacker's best split (optimize.go),
+//   - the two-stage decomposition of the proof with per-stage utility
+//     deltas, the initial-form classification of Lemmas 14/20, and the
+//     Adjusting Technique (stages.go),
+//   - a Theorem 8 verdict for whole instances (theorem.go).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/allocation"
+	"repro/internal/bottleneck"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// Instance is a ring resource-sharing game with a designated manipulative
+// agent.
+type Instance struct {
+	G *graph.Graph // the ring
+	V int          // the manipulative agent
+
+	// Dec is the bottleneck decomposition of the ring.
+	Dec *bottleneck.Decomposition
+	// HonestU is U_v(G; w), the utility without deviation.
+	HonestU numeric.Rat
+	// W1Zero and W2Zero are the amounts v sends to its two neighbors under
+	// the honest BD allocation; by Lemma 9, splitting with exactly these
+	// weights reproduces HonestU on the path.
+	W1Zero, W2Zero numeric.Rat
+
+	// interior lists the ring vertices between the two neighbors in path
+	// order n1 ... n2 (i.e. the ring order starting after v).
+	interior []int
+	n1, n2   int
+}
+
+// NewInstance validates g as a ring and precomputes the honest-side data.
+func NewInstance(g *graph.Graph, v int) (*Instance, error) {
+	if !g.IsRing() {
+		return nil, fmt.Errorf("core: graph is not a ring")
+	}
+	if v < 0 || v >= g.N() {
+		return nil, fmt.Errorf("core: vertex %d out of range", v)
+	}
+	dec, err := bottleneck.Decompose(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: decomposing ring: %w", err)
+	}
+	alloc, err := allocation.Compute(g, dec)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating on ring: %w", err)
+	}
+	ring, err := g.RingOrder(v)
+	if err != nil {
+		return nil, err
+	}
+	in := &Instance{
+		G:        g,
+		V:        v,
+		Dec:      dec,
+		HonestU:  dec.Utility(g, v),
+		interior: ring[1:],
+		n1:       ring[1],
+		n2:       ring[len(ring)-1],
+	}
+	in.W1Zero = alloc.Get(v, in.n1)
+	in.W2Zero = alloc.Get(v, in.n2)
+	if !in.W1Zero.Add(in.W2Zero).Equal(g.Weight(v)) {
+		return nil, fmt.Errorf("core: honest allocation sends %v+%v ≠ w_v = %v",
+			in.W1Zero, in.W2Zero, g.Weight(v))
+	}
+	return in, nil
+}
+
+// W returns w_v, the attacker's total endowment.
+func (in *Instance) W() numeric.Rat { return in.G.Weight(in.V) }
+
+// Neighbors returns the attacker's two ring neighbors (n1, n2); identity v¹
+// attaches to n1 and v² to n2.
+func (in *Instance) Neighbors() (n1, n2 int) { return in.n1, in.n2 }
+
+// PathEval is the exact outcome of one configuration P_v(w1, w2).
+type PathEval struct {
+	W1, W2 numeric.Rat
+	// Path is the evaluated path graph; position 0 is v¹, position N-1 is
+	// v², positions 1..N-2 are the ring interior in order n1..n2.
+	Path *graph.Graph
+	// OrigOf maps path positions 1..N-2 back to ring vertex indices.
+	OrigOf []int
+	// V1, V2 are the path positions of the identities (0 and N-1).
+	V1, V2 int
+	// Dec is the bottleneck decomposition of Path.
+	Dec *bottleneck.Decomposition
+	// U1, U2 are the identities' utilities; U = U1 + U2.
+	U1, U2, U numeric.Rat
+	// Signature is Dec's structure signature (piece identity).
+	Signature string
+}
+
+// EvalPair evaluates the configuration P_v(w1, w2) for arbitrary
+// non-negative leaf weights — including the off-simplex intermediate
+// configurations of the proof's Stages C-1/C-2 and D-1/D-2 where
+// w1 + w2 ≠ w_v.
+func (in *Instance) EvalPair(w1, w2 numeric.Rat) (*PathEval, error) {
+	if w1.Sign() < 0 || w2.Sign() < 0 {
+		return nil, fmt.Errorf("core: negative identity weight (%v, %v)", w1, w2)
+	}
+	n := len(in.interior) + 2
+	ws := make([]numeric.Rat, n)
+	orig := make([]int, n)
+	ws[0], orig[0] = w1, -1
+	for i, u := range in.interior {
+		ws[i+1], orig[i+1] = in.G.Weight(u), u
+	}
+	ws[n-1], orig[n-1] = w2, -1
+	p := graph.Path(ws)
+	p.SetLabel(0, fmt.Sprintf("%s^1", in.G.Label(in.V)))
+	p.SetLabel(n-1, fmt.Sprintf("%s^2", in.G.Label(in.V)))
+	dec, err := bottleneck.DecomposeWith(p, bottleneck.EnginePathDP)
+	if err != nil {
+		return nil, fmt.Errorf("core: decomposing P_v(%v, %v): %w", w1, w2, err)
+	}
+	ev := &PathEval{
+		W1: w1, W2: w2,
+		Path: p, OrigOf: orig,
+		V1: 0, V2: n - 1,
+		Dec: dec,
+		U1:  dec.Utility(p, 0),
+		U2:  dec.Utility(p, n-1),
+	}
+	ev.U = ev.U1.Add(ev.U2)
+	ev.Signature = dec.StructureSignature()
+	return ev, nil
+}
+
+// EvalSplit evaluates the legal Sybil split (w1, w_v − w1).
+func (in *Instance) EvalSplit(w1 numeric.Rat) (*PathEval, error) {
+	if w1.Sign() < 0 || in.W().Less(w1) {
+		return nil, fmt.Errorf("core: split weight %v outside [0, %v]", w1, in.W())
+	}
+	return in.EvalPair(w1, in.W().Sub(w1))
+}
+
+// HonestSplitEval evaluates P_v(w1⁰, w2⁰); by Lemma 9 its total utility
+// equals HonestU exactly.
+func (in *Instance) HonestSplitEval() (*PathEval, error) {
+	return in.EvalPair(in.W1Zero, in.W2Zero)
+}
+
+// VClass returns the attacker's class on the original ring, with the
+// paper's convention that a vertex of the final self-pair (α = 1) is
+// treated as C class for the case analysis.
+func (in *Instance) VClass() bottleneck.Class {
+	if c := in.Dec.ClassOf(in.V); c != bottleneck.ClassBoth {
+		return c
+	}
+	return bottleneck.ClassC
+}

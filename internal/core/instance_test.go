@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bottleneck"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+func mustInstance(t *testing.T, ws []numeric.Rat, v int) *Instance {
+	t.Helper()
+	in, err := NewInstance(graph.Ring(ws), v)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	return in
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	if _, err := NewInstance(graph.Path(numeric.Ints(1, 2, 3)), 0); err == nil {
+		t.Error("path accepted as ring")
+	}
+	if _, err := NewInstance(graph.Ring(numeric.Ints(1, 2, 3)), 5); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+}
+
+func TestHonestSplitSumsToWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(8) + 3
+		g := graph.RandomRing(rng, n, graph.WeightDist(rng.Intn(4)))
+		v := rng.Intn(n)
+		in, err := NewInstance(g, v)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !in.W1Zero.Add(in.W2Zero).Equal(g.Weight(v)) {
+			t.Fatalf("trial %d: honest split %v + %v ≠ %v", trial, in.W1Zero, in.W2Zero, g.Weight(v))
+		}
+	}
+}
+
+func TestLemma9HonestSplitIsUtilityNeutral(t *testing.T) {
+	// Lemma 9: splitting with the honest allocation amounts reproduces U_v
+	// exactly.
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(9) + 3
+		g := graph.RandomRing(rng, n, graph.WeightDist(rng.Intn(4)))
+		v := rng.Intn(n)
+		in, err := NewInstance(g, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := in.HonestSplitEval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ev.U.Equal(in.HonestU) {
+			t.Fatalf("trial %d: U(w1⁰,w2⁰) = %v ≠ U_v = %v (ring %v, v=%d, split %v/%v)",
+				trial, ev.U, in.HonestU, g.Weights(), v, in.W1Zero, in.W2Zero)
+		}
+	}
+}
+
+func TestEvalSplitMatchesGraphSplit(t *testing.T) {
+	// EvalSplit's hand-built path must agree with the generic
+	// graph.TwoSplitOnRing transform plus a fresh decomposition.
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(7) + 3
+		g := graph.RandomRing(rng, n, graph.DistUniform)
+		v := rng.Intn(n)
+		in, err := NewInstance(g, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w1 := g.Weight(v).MulInt(int64(rng.Intn(5))).DivInt(4)
+		ev, err := in.EvalSplit(w1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path, _, v1, v2, err := graph.TwoSplitOnRing(g, v, w1, g.Weight(v).Sub(w1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := bottleneck.Decompose(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dec.Utility(path, v1).Add(dec.Utility(path, v2))
+		if !ev.U.Equal(want) {
+			t.Fatalf("trial %d: EvalSplit U = %v, graph.Split U = %v", trial, ev.U, want)
+		}
+	}
+}
+
+func TestEvalPairRejectsNegative(t *testing.T) {
+	in := mustInstance(t, numeric.Ints(1, 2, 3), 0)
+	if _, err := in.EvalPair(numeric.FromInt(-1), numeric.One); err == nil {
+		t.Error("negative w1 accepted")
+	}
+	if _, err := in.EvalSplit(numeric.FromInt(2)); err == nil {
+		t.Error("w1 > w_v accepted")
+	}
+}
+
+func TestEvalPairOffSimplex(t *testing.T) {
+	// The proof's intermediate configurations have w1 + w2 ≠ w_v; they must
+	// evaluate fine.
+	in := mustInstance(t, numeric.Ints(4, 1, 2, 3), 0)
+	ev, err := in.EvalPair(numeric.One, numeric.One)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Path.TotalWeight().Equal(numeric.FromInt(8)) {
+		t.Fatalf("off-simplex total = %v", ev.Path.TotalWeight())
+	}
+}
+
+func TestVClassConvention(t *testing.T) {
+	// Unit ring: every vertex is ClassBoth, treated as C.
+	in := mustInstance(t, numeric.Ints(1, 1, 1, 1), 0)
+	if got := in.VClass(); got != bottleneck.ClassC {
+		t.Fatalf("VClass on unit ring = %v, want C", got)
+	}
+	// Heavy vertex is B class: ring (100, 1, 1, 1).
+	in2 := mustInstance(t, numeric.Ints(100, 1, 1, 1), 0)
+	if got := in2.VClass(); got != bottleneck.ClassB {
+		t.Fatalf("VClass of heavy vertex = %v, want B", got)
+	}
+}
+
+func TestNeighborsOrientation(t *testing.T) {
+	in := mustInstance(t, numeric.Ints(1, 2, 3, 4), 0)
+	n1, n2 := in.Neighbors()
+	if n1 == n2 || !in.G.HasEdge(0, n1) || !in.G.HasEdge(0, n2) {
+		t.Fatalf("neighbors (%d, %d)", n1, n2)
+	}
+	// EvalSplit with all weight on w1 must starve n2's side leaf.
+	ev, err := in.EvalSplit(in.W())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Path.Weight(ev.V2).IsZero() || !ev.Path.Weight(ev.V1).Equal(in.W()) {
+		t.Fatal("weight routing wrong")
+	}
+}

@@ -1,0 +1,227 @@
+// Package dynamics simulates the proportional response dynamics
+// (Definition 1 of the paper, Wu & Zhang STOC'07):
+//
+//	x_vu(0)   = w_v / d_v
+//	x_vu(t+1) = x_uv(t) / Σ_k x_kv(t) · w_v
+//
+// i.e. each agent answers the resource received from each neighbor in
+// proportion. Wu & Zhang proved the dynamics converges to the BD allocation
+// (Proposition 6); experiment E10 measures that convergence against the
+// exact allocation from package allocation.
+//
+// Unlike the exact mechanism, the simulator runs in float64: iterating the
+// recurrence in exact rationals would grow denominators exponentially, and
+// the object of study here is the trajectory, not the limit (the limit is
+// computed exactly elsewhere). Updates within a round are data-parallel and
+// executed on a worker pool.
+//
+// Empirical convergence rates (experiment E10): geometric toward pairs with
+// α < 1, but only Θ(1/t) toward degenerate α = 1 equilibria in which some
+// equilibrium transfer is exactly zero (e.g. the ring 512-512-1024, where
+// x_{01} decays like 1/t). Damping does not remove the sublinear phase; it
+// is inherent to the multiplicative update at the boundary of the simplex.
+package dynamics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/par"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// MaxRounds bounds the iteration count (default 10_000).
+	MaxRounds int
+	// Tol declares convergence when the max absolute change of any transfer
+	// between consecutive rounds falls below it (default 1e-12).
+	Tol float64
+	// Damping θ ∈ [0, 1) mixes the new state with the old:
+	// x ← (1-θ)·x_new + θ·x_old. 0 is the paper's plain dynamics.
+	Damping float64
+	// Workers sets the parallel worker count (≤ 0 = GOMAXPROCS).
+	Workers int
+	// TargetUtilities, when non-nil, enables per-round error tracking
+	// against the exact equilibrium utilities (e.g. Proposition 6 values).
+	TargetUtilities []numeric.Rat
+	// InitialTransfers, when non-nil, warm-starts the dynamics from the
+	// given state instead of the equal split w_v/d_v: InitialTransfers[v][j]
+	// is what v sends to its j-th neighbor (graph adjacency order). Used to
+	// verify fixed points: starting at the BD allocation must stay there.
+	InitialTransfers [][]float64
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	// X holds the final transfers: X[v][j] is what v sends to its j-th
+	// neighbor (graph adjacency order).
+	X [][]float64
+	// Utilities holds the final per-vertex utilities.
+	Utilities []float64
+	// Rounds is the number of update rounds executed.
+	Rounds int
+	// Converged reports whether Tol was reached before MaxRounds.
+	Converged bool
+	// UtilityError, when target utilities were supplied, records the L∞
+	// utility error after each round (UtilityError[0] is the error of the
+	// initial state).
+	UtilityError []float64
+}
+
+// Run simulates the proportional response dynamics on g.
+func Run(g *graph.Graph, opts Options) (*Result, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("dynamics: empty graph")
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 10000
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-12
+	}
+	if opts.Damping < 0 || opts.Damping >= 1 {
+		return nil, fmt.Errorf("dynamics: damping %v outside [0, 1)", opts.Damping)
+	}
+	if opts.TargetUtilities != nil && len(opts.TargetUtilities) != g.N() {
+		return nil, fmt.Errorf("dynamics: %d target utilities for %d vertices",
+			len(opts.TargetUtilities), g.N())
+	}
+
+	n := g.N()
+	w := make([]float64, n)
+	for v := 0; v < n; v++ {
+		w[v] = g.Weight(v).Float64()
+	}
+	// reverse[v][j] = position of v in the adjacency list of its j-th
+	// neighbor, so incoming transfers can be read without search.
+	reverse := make([][]int, n)
+	for v := 0; v < n; v++ {
+		nb := g.Neighbors(v)
+		reverse[v] = make([]int, len(nb))
+		for j, u := range nb {
+			reverse[v][j] = indexOf(g.Neighbors(u), v)
+		}
+	}
+
+	if opts.InitialTransfers != nil && len(opts.InitialTransfers) != n {
+		return nil, fmt.Errorf("dynamics: %d initial transfer rows for %d vertices",
+			len(opts.InitialTransfers), n)
+	}
+	x := make([][]float64, n)
+	next := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		d := g.Degree(v)
+		x[v] = make([]float64, d)
+		next[v] = make([]float64, d)
+		if opts.InitialTransfers != nil {
+			if len(opts.InitialTransfers[v]) != d {
+				return nil, fmt.Errorf("dynamics: initial transfers of vertex %d have %d entries for degree %d",
+					v, len(opts.InitialTransfers[v]), d)
+			}
+			copy(x[v], opts.InitialTransfers[v])
+			continue
+		}
+		for j := range x[v] {
+			x[v][j] = w[v] / float64(d)
+		}
+	}
+
+	var target []float64
+	if opts.TargetUtilities != nil {
+		target = make([]float64, n)
+		for v := range target {
+			target[v] = opts.TargetUtilities[v].Float64()
+		}
+	}
+
+	res := &Result{}
+	utilities := make([]float64, n)
+	recordError := func() {
+		if target == nil {
+			return
+		}
+		maxErr := 0.0
+		for v := 0; v < n; v++ {
+			if e := math.Abs(utilities[v] - target[v]); e > maxErr {
+				maxErr = e
+			}
+		}
+		res.UtilityError = append(res.UtilityError, maxErr)
+	}
+
+	computeUtilities := func(state [][]float64) {
+		par.ForEach(n, opts.Workers, func(v int) {
+			total := 0.0
+			for j, u := range g.Neighbors(v) {
+				total += state[u][reverse[v][j]]
+			}
+			utilities[v] = total
+		})
+	}
+
+	computeUtilities(x)
+	recordError()
+
+	maxDelta := make([]float64, n)
+	for round := 0; round < opts.MaxRounds; round++ {
+		// x_vu(t+1) = x_uv(t)/U_v(t) · w_v, with the equal-split fallback
+		// when v received nothing this round (U_v = 0 happens only in
+		// degenerate zero-weight neighborhoods).
+		par.ForEach(n, opts.Workers, func(v int) {
+			d := len(next[v])
+			delta := 0.0
+			for j, u := range g.Neighbors(v) {
+				incoming := x[u][reverse[v][j]]
+				var nv float64
+				if utilities[v] > 0 {
+					nv = incoming / utilities[v] * w[v]
+				} else {
+					nv = w[v] / float64(d)
+				}
+				nv = (1-opts.Damping)*nv + opts.Damping*x[v][j]
+				if diff := math.Abs(nv - x[v][j]); diff > delta {
+					delta = diff
+				}
+				next[v][j] = nv
+			}
+			maxDelta[v] = delta
+		})
+		x, next = next, x
+		computeUtilities(x)
+		recordError()
+		res.Rounds = round + 1
+		worst := 0.0
+		for _, d := range maxDelta {
+			if d > worst {
+				worst = d
+			}
+		}
+		if worst < opts.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.X = x
+	res.Utilities = append([]float64(nil), utilities...)
+	return res, nil
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	panic("dynamics: adjacency not symmetric")
+}
+
+// FinalUtilityError returns the last recorded utility error, or NaN when no
+// targets were tracked.
+func (r *Result) FinalUtilityError() float64 {
+	if len(r.UtilityError) == 0 {
+		return math.NaN()
+	}
+	return r.UtilityError[len(r.UtilityError)-1]
+}

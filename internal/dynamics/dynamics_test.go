@@ -1,0 +1,270 @@
+package dynamics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/allocation"
+	"repro/internal/bottleneck"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// runToEquilibrium simulates g and checks convergence to the Proposition 6
+// utilities within tol.
+func runToEquilibrium(t *testing.T, g *graph.Graph, damping, tol float64) *Result {
+	t.Helper()
+	d, err := bottleneck.Decompose(g)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	res, err := Run(g, Options{
+		MaxRounds:       200000,
+		Tol:             1e-13,
+		Damping:         damping,
+		TargetUtilities: d.Utilities(g),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := res.FinalUtilityError(); got > tol {
+		t.Fatalf("utility error %v > %v after %d rounds (converged=%v)",
+			got, tol, res.Rounds, res.Converged)
+	}
+	return res
+}
+
+func TestSingleEdgeImmediateFixedPoint(t *testing.T) {
+	g := graph.Path(numeric.Ints(2, 3))
+	res := runToEquilibrium(t, g, 0, 1e-9)
+	if res.Rounds > 5 {
+		t.Errorf("single edge took %d rounds", res.Rounds)
+	}
+	// Each sends its whole weight to the only neighbor.
+	if math.Abs(res.X[0][0]-2) > 1e-12 || math.Abs(res.X[1][0]-3) > 1e-12 {
+		t.Errorf("transfers %v", res.X)
+	}
+}
+
+func TestHeavyMiddlePathConverges(t *testing.T) {
+	g := graph.Path(numeric.Ints(1, 100, 1))
+	res := runToEquilibrium(t, g, 0, 1e-6)
+	// Equilibrium: U_middle = 2, U_leaf = 50.
+	if math.Abs(res.Utilities[1]-2) > 1e-6 || math.Abs(res.Utilities[0]-50) > 1e-6 {
+		t.Errorf("utilities %v", res.Utilities)
+	}
+}
+
+func TestUnitRingFixedPointImmediately(t *testing.T) {
+	g := graph.Ring(numeric.Ints(1, 1, 1, 1, 1))
+	res := runToEquilibrium(t, g, 0, 1e-12)
+	if !res.Converged || res.Rounds > 3 {
+		t.Errorf("unit ring: rounds=%d converged=%v", res.Rounds, res.Converged)
+	}
+}
+
+func TestRandomRingsConvergeToProposition6(t *testing.T) {
+	// Convergence is geometric for α < 1 pairs but only Θ(1/t) at
+	// degenerate α = 1 equilibria where some equilibrium transfer is 0
+	// (e.g. ring weights 512-512-1024: x_{01} → 0 like 1/t). The assertion
+	// therefore accepts either a tiny final error or a demonstrated decay
+	// by 100× from the initial error.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(8) + 3
+		g := graph.RandomRing(rng, n, graph.WeightDist(rng.Intn(4)))
+		d, err := bottleneck.Decompose(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(g, Options{MaxRounds: 100000, Tol: 1e-13, TargetUtilities: d.Utilities(g)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := res.FinalUtilityError()
+		initial := res.UtilityError[0]
+		if final > 1e-5 && !(initial > 0 && final < initial/100) {
+			t.Fatalf("trial %d (n=%d, w=%v): error %v (initial %v) after %d rounds",
+				trial, n, g.Weights(), final, initial, res.Rounds)
+		}
+	}
+}
+
+func TestRandomConnectedGraphsConverge(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 12; trial++ {
+		g := graph.RandomConnected(rng, rng.Intn(8)+2, 0.4, graph.DistUniform)
+		runToEquilibrium(t, g, 0, 1e-5)
+	}
+}
+
+func TestCompleteGraphConverges(t *testing.T) {
+	g := graph.Complete(numeric.Ints(3, 1, 4, 1, 5))
+	runToEquilibrium(t, g, 0, 1e-6)
+}
+
+func TestErrorSeriesIsRecordedAndDecays(t *testing.T) {
+	// Asymmetric leaves so the equal-split initial state is NOT already the
+	// fixed point (with weights 1-100-1 it is, a cute degeneracy).
+	g := graph.Path(numeric.Ints(1, 100, 2))
+	d, err := bottleneck.Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, Options{MaxRounds: 500, TargetUtilities: d.Utilities(g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UtilityError) != res.Rounds+1 {
+		t.Fatalf("error series length %d, rounds %d", len(res.UtilityError), res.Rounds)
+	}
+	if res.UtilityError[len(res.UtilityError)-1] >= res.UtilityError[0] {
+		t.Errorf("error did not decay: first %v last %v",
+			res.UtilityError[0], res.UtilityError[len(res.UtilityError)-1])
+	}
+}
+
+func TestSublinearRateAtDegenerateEquilibrium(t *testing.T) {
+	// Ring 512-512-1024 has α = 1 with equilibrium transfer x_{01} = 0; the
+	// dynamics approaches it at rate Θ(1/t): ten times the rounds must cut
+	// the error by roughly ten (we assert at least 5×).
+	g := graph.Ring(numeric.Ints(512, 512, 1024))
+	d, err := bottleneck.Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errAt := func(rounds int) float64 {
+		res, err := Run(g, Options{MaxRounds: rounds, Tol: 1e-300, TargetUtilities: d.Utilities(g)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalUtilityError()
+	}
+	e1, e10 := errAt(2000), errAt(20000)
+	if e10 >= e1/5 {
+		t.Errorf("expected ~10x decay from 10x rounds, got %v -> %v", e1, e10)
+	}
+	if e10 > e1 || e1 > 1 {
+		t.Errorf("errors out of range: %v, %v", e1, e10)
+	}
+}
+
+func TestDampingStillConverges(t *testing.T) {
+	g := graph.Ring(numeric.Ints(1, 7, 2, 9, 3))
+	runToEquilibrium(t, g, 0.3, 1e-5)
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	g := graph.RandomRing(rand.New(rand.NewSource(8)), 12, graph.DistUniform)
+	seq, err := Run(g, Options{MaxRounds: 200, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parl, err := Run(g, Options{MaxRounds: 200, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range seq.X {
+		for j := range seq.X[v] {
+			if seq.X[v][j] != parl.X[v][j] {
+				t.Fatalf("parallel/sequential diverge at x[%d][%d]: %v vs %v",
+					v, j, seq.X[v][j], parl.X[v][j])
+			}
+		}
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g := graph.Path(numeric.Ints(1, 1))
+	if _, err := Run(g, Options{Damping: 1.0}); err == nil {
+		t.Error("damping 1.0 accepted")
+	}
+	if _, err := Run(g, Options{Damping: -0.1}); err == nil {
+		t.Error("negative damping accepted")
+	}
+	if _, err := Run(g, Options{TargetUtilities: numeric.Ints(1)}); err == nil {
+		t.Error("mismatched targets accepted")
+	}
+	if _, err := Run(graph.New(0), Options{}); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestZeroWeightVertexDoesNotNaN(t *testing.T) {
+	g := graph.Path([]numeric.Rat{numeric.Zero, numeric.One, numeric.FromInt(3)})
+	res, err := Run(g, Options{MaxRounds: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, u := range res.Utilities {
+		if math.IsNaN(u) || math.IsInf(u, 0) {
+			t.Fatalf("utility of %d is %v", v, u)
+		}
+	}
+}
+
+func TestBDAllocationIsAFixedPoint(t *testing.T) {
+	// Warm-starting the dynamics AT the exact BD allocation must keep it
+	// there (up to float rounding): the allocation mechanism's output is a
+	// proportional-response fixed point, including the symmetrized α = 1
+	// self-pairs.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		var g *graph.Graph
+		if trial%2 == 0 {
+			g = graph.RandomRing(rng, rng.Intn(8)+3, graph.WeightDist(rng.Intn(4)))
+		} else {
+			g = graph.RandomConnected(rng, rng.Intn(7)+2, 0.5, graph.DistUniform)
+		}
+		d, err := bottleneck.Decompose(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := allocation.Compute(g, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		init := make([][]float64, g.N())
+		for v := 0; v < g.N(); v++ {
+			init[v] = make([]float64, g.Degree(v))
+			for j, u := range g.Neighbors(v) {
+				init[v][j] = a.Get(v, u).Float64()
+			}
+		}
+		res, err := Run(g, Options{MaxRounds: 50, Tol: 1e-300, InitialTransfers: init})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			for j, u := range g.Neighbors(v) {
+				want := a.Get(v, u).Float64()
+				if math.Abs(res.X[v][j]-want) > 1e-9*(want+1) {
+					t.Fatalf("trial %d: transfer %d→%d drifted from %v to %v (w=%v)",
+						trial, v, u, want, res.X[v][j], g.Weights())
+				}
+			}
+		}
+	}
+}
+
+func TestInitialTransfersValidation(t *testing.T) {
+	g := graph.Path(numeric.Ints(1, 1))
+	if _, err := Run(g, Options{InitialTransfers: [][]float64{{1}}}); err == nil {
+		t.Error("wrong row count accepted")
+	}
+	if _, err := Run(g, Options{InitialTransfers: [][]float64{{1, 2}, {1}}}); err == nil {
+		t.Error("wrong degree row accepted")
+	}
+}
+
+func TestFinalUtilityErrorWithoutTargets(t *testing.T) {
+	g := graph.Path(numeric.Ints(1, 1))
+	res, err := Run(g, Options{MaxRounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.FinalUtilityError()) {
+		t.Error("expected NaN without targets")
+	}
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "a", "bb")
+	tb.Add(1, "x")
+	tb.Add("yy", 2)
+	tb.Note("hello %d", 7)
+	s := tb.String()
+	for _, want := range []string{"== demo ==", "a   bb", "1   x", "yy  2", "note: hello 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n1,x\n") {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tb := NewTable("q", "c")
+	tb.Add(`a,"b"`)
+	if want := "c\n\"a,\"\"b\"\"\"\n"; tb.CSV() != want {
+		t.Errorf("CSV = %q, want %q", tb.CSV(), want)
+	}
+}
+
+func TestTableAddPanicsOnArity(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on arity mismatch")
+		}
+	}()
+	tb.Add(1)
+}
+
+func TestE1(t *testing.T) {
+	tb, err := E1Fig1()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tb)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tb.Rows))
+	}
+}
+
+func TestE2(t *testing.T) {
+	tabs, err := E2Fig2(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 3 {
+		t.Fatalf("tables: %d", len(tabs))
+	}
+	for _, tb := range tabs {
+		if len(tb.Rows) != 13 {
+			t.Errorf("%s: %d rows", tb.Title, len(tb.Rows))
+		}
+	}
+}
+
+func TestE3(t *testing.T) {
+	if _, err := E3Fig3(Quick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE4(t *testing.T) {
+	if _, err := E4Fig4(Quick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE5(t *testing.T) {
+	if _, err := E5Theorem8UpperBound(Quick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE6(t *testing.T) {
+	tb, err := E6LowerBoundFamily([]int{0, 1, 2}, numeric.FromInt(10000), 48)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tb)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tb.Rows))
+	}
+}
+
+func TestE7(t *testing.T) {
+	if _, err := E7Lemma9(Quick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE8(t *testing.T) {
+	if _, err := E8Theorem10(Quick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE9(t *testing.T) {
+	if _, err := E9StageDeltas(Quick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE10(t *testing.T) {
+	if _, err := E10DynamicsConvergence(1 << 12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE11(t *testing.T) {
+	if _, err := E11Misreport(Quick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE12(t *testing.T) {
+	tb, err := E12SolverAblation([]int{8, 16}, 2)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tb)
+	}
+}
+
+func TestE13(t *testing.T) {
+	if _, err := E13GeneralConjecture(Quick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE14(t *testing.T) {
+	if _, err := E14SwarmAttack(4000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE15(t *testing.T) {
+	if _, err := E15AsyncRobustness(8000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE16(t *testing.T) {
+	tb, err := E16CoalitionAttack(4, 6)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tb)
+	}
+}
+
+func TestE17(t *testing.T) {
+	tb, err := E17FreeRiding(6000)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tb)
+	}
+}
+
+func TestRunFilteredValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := RunFiltered(&sb, Quick, []string{"E99"}); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+	if err := RunFiltered(&sb, Quick, []string{"e1"}); err != nil {
+		t.Fatalf("case-insensitive id rejected: %v", err)
+	}
+	if !strings.Contains(sb.String(), "1 experiments completed") {
+		t.Fatalf("filtered run output wrong:\n%s", sb.String())
+	}
+	if len(IDs()) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(IDs()))
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var sb strings.Builder
+	if err := RunAll(&sb, Quick); err != nil {
+		t.Fatalf("%v\noutput so far:\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "17 experiments completed") {
+		t.Fatal("missing completion marker")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	files, err := WriteCSV(dir, Quick, []string{"E1", "E2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E1 produces one table, E2 three.
+	if len(files) != 4 {
+		t.Fatalf("wrote %d files, want 4: %v", len(files), files)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "pair,B,C,alpha,expected\n") {
+		t.Fatalf("E1 CSV header wrong: %q", string(data)[:40])
+	}
+	if _, err := WriteCSV(dir, Quick, []string{"nope"}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bottleneck"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/p2p"
+)
+
+// E17FreeRiding is an extension experiment for the other classic deviation
+// the introduction cites (Jun & Ahamad [13]; Cohen [10]): free riding.
+// A peer that contributes nothing is starved by tit-for-tat — its income
+// decays to zero — and the remaining swarm converges exactly to the BD
+// equilibrium of the network in which the deviant's weight is zero, i.e.
+// free riding is equivalent to not owning anything. (Contrast with the
+// Sybil attack, which DOES pay, up to the factor 2 of Theorem 8.)
+//
+// Measured boundary: starvation requires the rider's neighbors to have
+// alternative partners. Against captive leaves the protocol's bootstrap
+// re-offer (a zero-income peer restarts from the equal split, the analogue
+// of BitTorrent's optimistic unchoke) keeps paying the rider forever.
+func E17FreeRiding(rounds int) (*Table, error) {
+	if rounds <= 0 {
+		rounds = 8000
+	}
+	t := NewTable("E17 / extension — free riding is starved by the protocol (unless neighbors are captive)",
+		"instance", "rider", "honest-run U", "final income", "starved (expected)", "others' max err vs zero-weight equilibrium")
+	instances := []struct {
+		name    string
+		g       *graph.Graph
+		rider   int
+		starved bool
+	}{
+		// On rings every neighbor has an alternative partner, so tit-for-tat
+		// starves the rider.
+		{"ring 5-7-3-9-4", graph.Ring(numeric.Ints(5, 7, 3, 9, 4)), 2, true},
+		{"heavy-neighbor ring", graph.Ring(numeric.Ints(100, 1, 1, 1, 1, 1)), 1, true},
+		// Boundary regime: the rider's neighbors are LEAVES whose only
+		// partner is the rider. A leaf receiving nothing has no proportional
+		// response to give, so the protocol's bootstrap (the equal-split
+		// re-offer — BitTorrent's optimistic unchoke) keeps feeding the
+		// rider forever: free riding pays against captive neighbors.
+		{"path 1-100-2 (captive leaves)", graph.Path(numeric.Ints(1, 100, 2)), 1, false},
+	}
+	for _, it := range instances {
+		honest, err := p2p.Run(it.g, p2p.Config{Rounds: rounds})
+		if err != nil {
+			return t, fmt.Errorf("E17 %s: %w", it.name, err)
+		}
+		res, err := p2p.Run(it.g, p2p.Config{
+			Rounds:      rounds,
+			FreeRiders:  []int{it.rider},
+			TrackAgents: []int{it.rider},
+		})
+		if err != nil {
+			return t, fmt.Errorf("E17 %s: %w", it.name, err)
+		}
+		gz := it.g.Clone()
+		gz.MustSetWeight(it.rider, numeric.Zero)
+		dz, err := bottleneck.Decompose(gz)
+		if err != nil {
+			return t, fmt.Errorf("E17 %s: %w", it.name, err)
+		}
+		worst := 0.0
+		for v := 0; v < it.g.N(); v++ {
+			if v == it.rider {
+				continue
+			}
+			if e := math.Abs(res.Utilities[v] - dz.Utility(gz, v).Float64()); e > worst {
+				worst = e
+			}
+		}
+		h := res.History[0]
+		starved := h[len(h)-1] < 1e-6
+		t.Add(it.name, it.rider, fmtF(honest.Utilities[it.rider]),
+			fmt.Sprintf("%.3e", h[len(h)-1]),
+			fmt.Sprintf("%v (%v)", starved, it.starved),
+			fmt.Sprintf("%.3e", worst))
+		if starved != it.starved {
+			return t, fmt.Errorf("E17 %s: starvation = %v, expected %v (final income %v)",
+				it.name, starved, it.starved, h[len(h)-1])
+		}
+		if worst > 1e-4 {
+			return t, fmt.Errorf("E17 %s: honest agents off the zero-weight equilibrium by %v", it.name, worst)
+		}
+	}
+	t.Note("on rings free riding earns nothing (income → 0) and the swarm re-converges to the rider's-weight-zero equilibrium;")
+	t.Note("against captive leaf neighbors the bootstrap re-offer keeps paying the rider — starvation needs alternative partners")
+	return t, nil
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/numeric"
+)
+
+// runner couples an experiment id with its driver at a given scale.
+type runner struct {
+	id  string
+	run func(Scale) ([]*Table, error)
+}
+
+// one adapts a single-table driver.
+func one(f func(Scale) (*Table, error)) func(Scale) ([]*Table, error) {
+	return func(s Scale) ([]*Table, error) {
+		t, err := f(s)
+		if t == nil {
+			return nil, err
+		}
+		return []*Table{t}, err
+	}
+}
+
+// registry lists every experiment in order.
+func registry() []runner {
+	return []runner{
+		{"E1", one(func(Scale) (*Table, error) { return E1Fig1() })},
+		{"E2", func(Scale) ([]*Table, error) { return E2Fig2(24) }},
+		{"E3", one(E3Fig3)},
+		{"E4", one(E4Fig4)},
+		{"E5", one(E5Theorem8UpperBound)},
+		{"E6", one(func(s Scale) (*Table, error) {
+			return E6LowerBoundFamily([]int{0, 1, 2, 4, 8, 16}, numeric.FromInt(1000000), s.OptGrid)
+		})},
+		{"E7", one(E7Lemma9)},
+		{"E8", one(E8Theorem10)},
+		{"E9", one(E9StageDeltas)},
+		{"E10", one(func(s Scale) (*Table, error) { return E10DynamicsConvergence(s.DynRounds) })},
+		{"E11", one(E11Misreport)},
+		{"E12", one(func(Scale) (*Table, error) { return E12SolverAblation(nil, 3) })},
+		{"E13", one(E13GeneralConjecture)},
+		{"E14", one(func(s Scale) (*Table, error) { return E14SwarmAttack(s.DynRounds) })},
+		{"E15", one(func(s Scale) (*Table, error) { return E15AsyncRobustness(s.DynRounds) })},
+		{"E16", one(func(s Scale) (*Table, error) { return E16CoalitionAttack(s.Trials*3, 6) })},
+		{"E17", one(func(s Scale) (*Table, error) { return E17FreeRiding(s.DynRounds) })},
+	}
+}
+
+// IDs returns the known experiment identifiers in order.
+func IDs() []string {
+	rs := registry()
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.id
+	}
+	return out
+}
+
+// RunAll executes every experiment at the given scale and writes the tables
+// to w. It stops at the first failed expectation — a failed check is a
+// reproduction regression, not a formatting matter.
+func RunAll(w io.Writer, s Scale) error {
+	return RunFiltered(w, s, nil)
+}
+
+// WriteCSV runs the selected experiments (all when ids is empty) and writes
+// each produced table as a CSV file under dir, named E<id>_<k>.csv in
+// execution order. It returns the files written.
+func WriteCSV(dir string, s Scale, ids []string) ([]string, error) {
+	want, err := normalizeIDs(ids)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, r := range registry() {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		tables, err := r.run(s)
+		if err != nil {
+			return files, fmt.Errorf("%s: %w", r.id, err)
+		}
+		for k, t := range tables {
+			if t == nil {
+				continue
+			}
+			name := fmt.Sprintf("%s_%d.csv", r.id, k)
+			path := dir + "/" + name
+			if err := writeFile(path, t.CSV()); err != nil {
+				return files, err
+			}
+			files = append(files, path)
+		}
+	}
+	return files, nil
+}
+
+// normalizeIDs validates and uppercases experiment ids.
+func normalizeIDs(ids []string) (map[string]bool, error) {
+	want := map[string]bool{}
+	for _, id := range ids {
+		want[strings.ToUpper(strings.TrimSpace(id))] = true
+	}
+	known := map[string]bool{}
+	for _, r := range registry() {
+		known[r.id] = true
+	}
+	for id := range want {
+		if !known[id] {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+		}
+	}
+	return want, nil
+}
+
+// RunFiltered runs only the experiments whose ids appear in ids (all when
+// ids is empty). Unknown ids are an error.
+func RunFiltered(w io.Writer, s Scale, ids []string) error {
+	want, err := normalizeIDs(ids)
+	if err != nil {
+		return err
+	}
+	ran := 0
+	for _, r := range registry() {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		tables, err := r.run(s)
+		for _, t := range tables {
+			if t != nil {
+				fmt.Fprintln(w, t.String())
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.id, err)
+		}
+		ran++
+	}
+	fmt.Fprintf(w, "%d experiments completed with every expectation verified\n", ran)
+	return nil
+}
+
+// writeFile writes content to path (0644).
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,134 @@
+// Package experiments drives the paper-reproduction experiments E1–E14
+// cataloged in DESIGN.md §4: one driver per figure or headline result, each
+// returning plain-text tables that EXPERIMENTS.md records and bench_test.go
+// regenerates. Drivers validate their own expectations (e.g. "every ratio
+// ≤ 2") and report verdicts in the tables, so a regression shows up as a
+// failed check, not just a changed number.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a column-oriented result table rendering as aligned text or CSV.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes are free-form lines printed after the table (assumptions,
+	// verdicts, parameter choices).
+	Notes []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; cells are stringified with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	if len(row) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: row has %d cells for %d columns", len(row), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a free-form note line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes-free cells are
+// assumed; cells containing commas or quotes are escaped).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Scale bounds an experiment's workload so the same drivers serve both the
+// quick bench targets and the full cmd/experiments regeneration.
+type Scale struct {
+	// Trials is the number of random instances per table cell.
+	Trials int
+	// RingSizes lists the ring sizes swept by the ring experiments.
+	RingSizes []int
+	// OptGrid is the split optimizer's grid resolution.
+	OptGrid int
+	// Seed makes the sweeps reproducible.
+	Seed int64
+	// DynRounds bounds dynamics/swarm rounds.
+	DynRounds int
+}
+
+// Quick is the scale used by unit tests and benchmarks.
+var Quick = Scale{Trials: 4, RingSizes: []int{5, 8, 11}, OptGrid: 16, Seed: 1, DynRounds: 2000}
+
+// Full is the scale used by cmd/experiments for the recorded results.
+var Full = Scale{Trials: 20, RingSizes: []int{4, 6, 8, 10, 12, 16}, OptGrid: 64, Seed: 1, DynRounds: 20000}
+
+func fmtF(x float64) string { return fmt.Sprintf("%.6f", x) }

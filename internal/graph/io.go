@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/numeric"
+)
+
+// Text format, used by the cmd tools:
+//
+//	# comment
+//	n <vertex count>
+//	w <vertex> <weight>        (weight is an integer, fraction a/b, or decimal)
+//	e <u> <v>
+//
+// Lines may appear in any order after the n line.
+
+// Write serializes g in the text format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "n %d\n", g.N())
+	for v := 0; v < g.N(); v++ {
+		fmt.Fprintf(bw, "w %d %s\n", v, g.Weight(v))
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "e %d %d\n", e[0], e[1])
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "n":
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate n line", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: n needs one argument", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", line, fields[1])
+			}
+			g = New(n)
+		case "w":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: w before n", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: w needs two arguments", line)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex %q", line, fields[1])
+			}
+			wt, err := numeric.Parse(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			if v < 0 || v >= g.N() {
+				return nil, fmt.Errorf("graph: line %d: vertex %d out of range", line, v)
+			}
+			if err := g.SetWeight(v, wt); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: e before n", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: e needs two arguments", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
+			}
+			if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+				return nil, fmt.Errorf("graph: line %d: edge (%d,%d) out of range", line, u, v)
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	return g, nil
+}
+
+// DOT renders g in Graphviz format. classOf, when non-nil, maps a vertex to
+// a fill-color name (used by the tools to color B/C classes).
+func DOT(g *Graph, classOf func(v int) string) string {
+	var b strings.Builder
+	b.WriteString("graph G {\n  node [shape=circle];\n")
+	for v := 0; v < g.N(); v++ {
+		fmt.Fprintf(&b, "  %d [label=\"%s\\nw=%s\"", v, g.Label(v), g.Weight(v))
+		if classOf != nil {
+			if c := classOf(v); c != "" {
+				fmt.Fprintf(&b, ", style=filled, fillcolor=%q", c)
+			}
+		}
+		b.WriteString("];\n")
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %d -- %d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		g := RandomConnected(rng, rng.Intn(12)+1, 0.4, DistUniform)
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read: %v\n%s", err, buf.String())
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip size mismatch")
+		}
+		for v := 0; v < g.N(); v++ {
+			if !back.Weight(v).Equal(g.Weight(v)) {
+				t.Fatalf("weight of %d: %v != %v", v, back.Weight(v), g.Weight(v))
+			}
+		}
+		for _, e := range g.Edges() {
+			if !back.HasEdge(e[0], e[1]) {
+				t.Fatalf("missing edge %v", e)
+			}
+		}
+	}
+}
+
+func TestReadFractionalWeights(t *testing.T) {
+	in := `# a triangle
+n 3
+w 0 1/2
+w 1 0.25
+w 2 3
+e 0 1
+e 1 2
+e 0 2
+`
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weight(0).Equal(numeric.New(1, 2)) || !g.Weight(1).Equal(numeric.New(1, 4)) {
+		t.Fatalf("weights: %v %v", g.Weight(0), g.Weight(1))
+	}
+	if !g.IsRing() {
+		t.Error("triangle should be a ring")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",                  // empty
+		"w 0 1",             // w before n
+		"e 0 1",             // e before n
+		"n 2\nn 2",          // duplicate n
+		"n x",               // bad count
+		"n 2\nw 5 1",        // vertex out of range
+		"n 2\nw 0 abc",      // bad weight
+		"n 2\ne 0 5",        // edge out of range
+		"n 2\ne 0 0",        // self loop
+		"n 2\ne 0 1\ne 1 0", // duplicate edge
+		"n 2\nq 1 2",        // unknown directive
+		"n 2\nw 0 -3",       // negative weight
+		"n 2\nw 0",          // missing field
+		"n 2\ne 0",          // missing field
+		"n",                 // missing count
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := Path(numeric.Ints(1, 2))
+	g.SetLabel(0, "a")
+	dot := DOT(g, func(v int) string {
+		if v == 0 {
+			return "lightblue"
+		}
+		return ""
+	})
+	for _, want := range []string{"graph G {", "0 -- 1;", `label="a\nw=1"`, `fillcolor="lightblue"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}

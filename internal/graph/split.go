@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/numeric"
+)
+
+// SplitSpec describes a Sybil attack at the graph level (Section II-D):
+// agent v splits into m = len(Parts) fictitious identities v^1..v^m. Parts
+// partitions Γ(v): Parts[i] is the set of original neighbors connected to
+// identity i. Weights[i] is the resource assigned to identity i; the weights
+// must be non-negative and sum to w_v.
+type SplitSpec struct {
+	V       int
+	Parts   [][]int
+	Weights []numeric.Rat
+}
+
+// Validate checks sp against g.
+func (sp SplitSpec) Validate(g *Graph) error {
+	if sp.V < 0 || sp.V >= g.N() {
+		return fmt.Errorf("graph: split vertex %d out of range", sp.V)
+	}
+	if len(sp.Parts) == 0 || len(sp.Parts) != len(sp.Weights) {
+		return fmt.Errorf("graph: split needs matching non-empty Parts/Weights, got %d/%d",
+			len(sp.Parts), len(sp.Weights))
+	}
+	if len(sp.Parts) > g.Degree(sp.V) {
+		return fmt.Errorf("graph: cannot split degree-%d vertex into %d identities",
+			g.Degree(sp.V), len(sp.Parts))
+	}
+	seen := make(map[int]bool)
+	total := 0
+	for i, part := range sp.Parts {
+		if len(part) == 0 {
+			return fmt.Errorf("graph: split part %d is empty", i)
+		}
+		for _, u := range part {
+			if !g.HasEdge(sp.V, u) {
+				return fmt.Errorf("graph: split part %d contains non-neighbor %d", i, u)
+			}
+			if seen[u] {
+				return fmt.Errorf("graph: neighbor %d assigned to two identities", u)
+			}
+			seen[u] = true
+			total++
+		}
+		if sp.Weights[i].Sign() < 0 {
+			return fmt.Errorf("graph: negative split weight %v", sp.Weights[i])
+		}
+	}
+	if total != g.Degree(sp.V) {
+		return fmt.Errorf("graph: split covers %d of %d neighbors", total, g.Degree(sp.V))
+	}
+	if !numeric.Sum(sp.Weights).Equal(g.Weight(sp.V)) {
+		return fmt.Errorf("graph: split weights sum to %v, want w_v = %v",
+			numeric.Sum(sp.Weights), g.Weight(sp.V))
+	}
+	return nil
+}
+
+// Split applies sp to g and returns the resulting graph G' together with the
+// indices of the fictitious identities in G'.
+//
+// Vertex numbering in G': the original vertices keep their indices except
+// that v itself becomes identity v^1; identities v^2..v^m are appended as
+// new vertices N, N+1, ....
+func Split(g *Graph, sp SplitSpec) (*Graph, []int, error) {
+	if err := sp.Validate(g); err != nil {
+		return nil, nil, err
+	}
+	m := len(sp.Parts)
+	out := New(g.N() + m - 1)
+	ids := make([]int, m)
+	ids[0] = sp.V
+	for i := 1; i < m; i++ {
+		ids[i] = g.N() + i - 1
+	}
+	for u := 0; u < g.N(); u++ {
+		if u == sp.V {
+			continue
+		}
+		out.MustSetWeight(u, g.Weight(u))
+		if g.labels != nil && g.labels[u] != "" {
+			out.SetLabel(u, g.labels[u])
+		}
+	}
+	for i := 0; i < m; i++ {
+		out.MustSetWeight(ids[i], sp.Weights[i])
+		out.SetLabel(ids[i], fmt.Sprintf("%s^%d", g.Label(sp.V), i+1))
+	}
+	// Edges not incident to v survive unchanged; edges (v, u) are rewired to
+	// the identity owning u.
+	owner := make(map[int]int)
+	for i, part := range sp.Parts {
+		for _, u := range part {
+			owner[u] = ids[i]
+		}
+	}
+	for _, e := range g.Edges() {
+		u, w := e[0], e[1]
+		switch {
+		case u == sp.V:
+			out.MustAddEdge(owner[w], w)
+		case w == sp.V:
+			out.MustAddEdge(owner[u], u)
+		default:
+			out.MustAddEdge(u, w)
+		}
+	}
+	return out, ids, nil
+}
+
+// TwoSplitOnRing is the specialization used throughout the paper: on a ring,
+// agent v splits into exactly two identities, one per neighbor, turning the
+// ring into the path P_v(w1, w2) with v^1 and v^2 as its two leaves.
+//
+// It returns the path graph, the path order from v^1 to v^2, and the indices
+// of v^1 (attached to the neighbor that follows v in ring order) and v^2.
+func TwoSplitOnRing(g *Graph, v int, w1, w2 numeric.Rat) (path *Graph, order []int, v1, v2 int, err error) {
+	if !g.IsRing() {
+		return nil, nil, 0, 0, fmt.Errorf("graph: TwoSplitOnRing requires a ring")
+	}
+	ring, err := g.RingOrder(v)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	// ring = [v, n1, ..., n_{k}, n_last] with n1 and n_last the neighbors.
+	n1 := ring[1]
+	nLast := ring[len(ring)-1]
+	sp := SplitSpec{
+		V:       v,
+		Parts:   [][]int{{n1}, {nLast}},
+		Weights: []numeric.Rat{w1, w2},
+	}
+	path, ids, err := Split(g, sp)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	v1, v2 = ids[0], ids[1]
+	order = make([]int, 0, path.N())
+	order = append(order, v1)
+	order = append(order, ring[1:]...)
+	order = append(order, v2)
+	if !path.IsPath() {
+		return nil, nil, 0, 0, fmt.Errorf("graph: split of ring did not produce a path")
+	}
+	return path, order, v1, v2, nil
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestSplitValidation(t *testing.T) {
+	g := Ring(numeric.Ints(2, 1, 1, 1))
+	cases := []struct {
+		name string
+		sp   SplitSpec
+	}{
+		{"bad vertex", SplitSpec{V: 9, Parts: [][]int{{1}}, Weights: numeric.Ints(2)}},
+		{"empty parts", SplitSpec{V: 0, Parts: nil, Weights: nil}},
+		{"mismatched lengths", SplitSpec{V: 0, Parts: [][]int{{1}, {3}}, Weights: numeric.Ints(2)}},
+		{"too many identities", SplitSpec{V: 0, Parts: [][]int{{1}, {3}, {1}}, Weights: numeric.Ints(1, 1, 0)}},
+		{"empty part", SplitSpec{V: 0, Parts: [][]int{{1, 3}, {}}, Weights: numeric.Ints(1, 1)}},
+		{"non-neighbor", SplitSpec{V: 0, Parts: [][]int{{1}, {2}}, Weights: numeric.Ints(1, 1)}},
+		{"duplicate neighbor", SplitSpec{V: 0, Parts: [][]int{{1}, {1}}, Weights: numeric.Ints(1, 1)}},
+		{"uncovered neighbor", SplitSpec{V: 0, Parts: [][]int{{1}}, Weights: numeric.Ints(2)}},
+		{"weights do not sum", SplitSpec{V: 0, Parts: [][]int{{1}, {3}}, Weights: numeric.Ints(1, 2)}},
+		{"negative weight", SplitSpec{V: 0, Parts: [][]int{{1}, {3}}, Weights: []numeric.Rat{numeric.FromInt(3), numeric.FromInt(-1)}}},
+	}
+	for _, c := range cases {
+		if _, _, err := Split(g, c.sp); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestSplitRingIntoPath(t *testing.T) {
+	// Ring 0-1-2-3-0; split 0 into two identities.
+	g := Ring(numeric.Ints(10, 1, 2, 3))
+	sp := SplitSpec{
+		V:       0,
+		Parts:   [][]int{{1}, {3}},
+		Weights: []numeric.Rat{numeric.FromInt(4), numeric.FromInt(6)},
+	}
+	out, ids, err := Split(g, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N() != 5 || !reflect.DeepEqual(ids, []int{0, 4}) {
+		t.Fatalf("N=%d ids=%v", out.N(), ids)
+	}
+	if !out.IsPath() {
+		t.Fatal("split of ring at one vertex should yield a path")
+	}
+	if !out.Weight(0).Equal(numeric.FromInt(4)) || !out.Weight(4).Equal(numeric.FromInt(6)) {
+		t.Fatalf("identity weights: %v, %v", out.Weight(0), out.Weight(4))
+	}
+	// Other weights survive.
+	for v := 1; v <= 3; v++ {
+		if !out.Weight(v).Equal(g.Weight(v)) {
+			t.Errorf("weight of %d changed", v)
+		}
+	}
+	if !out.HasEdge(0, 1) || !out.HasEdge(4, 3) || out.HasEdge(0, 3) {
+		t.Fatalf("rewiring wrong: %v", out.Edges())
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitThreeWay(t *testing.T) {
+	// Star with center 0 and 3 leaves; split center into 3 identities.
+	g := Star(numeric.Ints(6, 1, 1, 1))
+	sp := SplitSpec{
+		V:       0,
+		Parts:   [][]int{{1}, {2}, {3}},
+		Weights: numeric.Ints(1, 2, 3),
+	}
+	out, ids, err := Split(g, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N() != 6 || len(ids) != 3 {
+		t.Fatalf("N=%d ids=%v", out.N(), ids)
+	}
+	// Result: three disjoint edges.
+	if out.M() != 3 {
+		t.Fatalf("M=%d", out.M())
+	}
+	comps := out.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+func TestTwoSplitOnRing(t *testing.T) {
+	g := Ring(numeric.Ints(5, 1, 2, 3, 4))
+	path, order, v1, v2, err := TwoSplitOnRing(g, 0, numeric.FromInt(2), numeric.FromInt(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !path.IsPath() {
+		t.Fatal("not a path")
+	}
+	if len(order) != path.N() {
+		t.Fatalf("order length %d vs N %d", len(order), path.N())
+	}
+	if order[0] != v1 || order[len(order)-1] != v2 {
+		t.Fatalf("order endpoints %v, v1=%d v2=%d", order, v1, v2)
+	}
+	for i := 0; i+1 < len(order); i++ {
+		if !path.HasEdge(order[i], order[i+1]) {
+			t.Fatalf("order %v not a path at %d", order, i)
+		}
+	}
+	if path.Degree(v1) != 1 || path.Degree(v2) != 1 {
+		t.Fatal("identities must be leaves")
+	}
+	if !path.Weight(v1).Equal(numeric.FromInt(2)) || !path.Weight(v2).Equal(numeric.FromInt(3)) {
+		t.Fatal("leaf weights wrong")
+	}
+	if _, _, _, _, err := TwoSplitOnRing(Path(numeric.Ints(1, 1)), 0, numeric.Zero, numeric.One); err == nil {
+		t.Error("TwoSplitOnRing should reject non-rings")
+	}
+}
+
+func TestTwoSplitOnRingPreservesTotalWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(10) + 3
+		g := RandomRing(rng, n, DistUniform)
+		v := rng.Intn(n)
+		wv := g.Weight(v)
+		w1 := wv.DivInt(3)
+		w2 := wv.Sub(w1)
+		path, _, _, _, err := TwoSplitOnRing(g, v, w1, w2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !path.TotalWeight().Equal(g.TotalWeight()) {
+			t.Fatalf("total weight changed: %v -> %v", g.TotalWeight(), path.TotalWeight())
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package maxflow
+
+import "repro/internal/numeric"
+
+// dinic computes a maximum flow by repeated blocking flows on the level
+// graph. With exact rational arithmetic every augmentation strictly
+// increases the flow, and the usual O(V²E) phase bound applies.
+func (nw *Network) dinic() numeric.Rat {
+	total := numeric.Zero
+	level := make([]int, nw.n)
+	iter := make([]int, nw.n)
+	queue := make([]int, 0, nw.n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[nw.s] = 0
+		queue = queue[:0]
+		queue = append(queue, nw.s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, id := range nw.adj[u] {
+				a := &nw.arcs[id]
+				if level[a.to] == -1 && nw.residual(id).Sign() > 0 {
+					level[a.to] = level[u] + 1
+					queue = append(queue, a.to)
+				}
+			}
+		}
+		return level[nw.t] != -1
+	}
+
+	// dfs pushes up to limit units from u toward the sink along the level
+	// graph and returns the amount pushed.
+	var dfs func(u int, limit numeric.Rat) numeric.Rat
+	dfs = func(u int, limit numeric.Rat) numeric.Rat {
+		if u == nw.t {
+			return limit
+		}
+		for ; iter[u] < len(nw.adj[u]); iter[u]++ {
+			id := nw.adj[u][iter[u]]
+			a := &nw.arcs[id]
+			if level[a.to] != level[u]+1 {
+				continue
+			}
+			res := nw.residual(id)
+			if res.Sign() <= 0 {
+				continue
+			}
+			pushed := dfs(a.to, limit.Min(res))
+			if pushed.Sign() > 0 {
+				nw.push(id, pushed)
+				return pushed
+			}
+		}
+		level[u] = -1 // dead end; prune
+		return numeric.Zero
+	}
+
+	// The source's outgoing finite capacity bounds any augmentation.
+	limit := numeric.Zero
+	for _, id := range nw.adj[nw.s] {
+		if id%2 == 0 {
+			limit = limit.Add(nw.arcs[id].cap)
+		}
+	}
+	if limit.IsZero() {
+		return numeric.Zero
+	}
+
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := dfs(nw.s, limit)
+			if pushed.Sign() == 0 {
+				break
+			}
+			total = total.Add(pushed)
+		}
+	}
+	return total
+}

@@ -1,0 +1,234 @@
+// Package maxflow implements exact maximum-flow / minimum-cut computation
+// over rational capacities.
+//
+// The BD Allocation Mechanism (Definition 5 of the paper) and the parametric
+// search for maximal bottlenecks both reduce to max-flow instances whose
+// capacities are exact rationals and whose results feed exact comparisons,
+// so the solvers here work entirely in numeric.Rat arithmetic. Three solvers
+// are provided — Dinic's algorithm, FIFO push–relabel, and the Edmonds–Karp
+// baseline — sharing one network representation; the experiment harness
+// ablates them against each other (experiment E12).
+//
+// Infinite capacities (used for the "selector → covered" arcs of the
+// bottleneck network and the B_i × C_i arcs of the allocation network) are
+// replaced at solve time by a finite bound exceeding the total finite
+// capacity; this preserves the max-flow value and every finite min-cut.
+package maxflow
+
+import (
+	"fmt"
+
+	"repro/internal/numeric"
+)
+
+// Cap is an arc capacity: either a finite non-negative rational or +∞.
+type Cap struct {
+	v   numeric.Rat
+	inf bool
+}
+
+// Finite returns a finite capacity. It panics if r < 0.
+func Finite(r numeric.Rat) Cap {
+	if r.Sign() < 0 {
+		panic("maxflow: negative capacity")
+	}
+	return Cap{v: r}
+}
+
+// Inf is the infinite capacity.
+var Inf = Cap{inf: true}
+
+// IsInf reports whether c is infinite.
+func (c Cap) IsInf() bool { return c.inf }
+
+// Value returns the finite value of c; it panics on Inf.
+func (c Cap) Value() numeric.Rat {
+	if c.inf {
+		panic("maxflow: Value of infinite capacity")
+	}
+	return c.v
+}
+
+// String formats the capacity.
+func (c Cap) String() string {
+	if c.inf {
+		return "inf"
+	}
+	return c.v.String()
+}
+
+// arc is half of an undirected residual pair; arcs are stored in pairs
+// (i, i^1) where i^1 is the reverse arc.
+type arc struct {
+	to   int
+	cap  numeric.Rat // solved capacity (infinities already replaced)
+	inf  bool        // declared infinite by the caller
+	flow numeric.Rat
+}
+
+// Network is a directed flow network with a distinguished source and sink.
+// Build it with AddEdge, then call Solve (or a solver-specific method).
+type Network struct {
+	n      int
+	s, t   int
+	arcs   []arc
+	adj    [][]int // arc indices leaving each node
+	solved bool
+}
+
+// NewNetwork returns a network with n nodes, source s and sink t.
+func NewNetwork(n, s, t int) *Network {
+	if n < 2 || s < 0 || s >= n || t < 0 || t >= n || s == t {
+		panic(fmt.Sprintf("maxflow: bad network parameters n=%d s=%d t=%d", n, s, t))
+	}
+	return &Network{n: n, s: s, t: t, adj: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return nw.n }
+
+// Source returns the source node.
+func (nw *Network) Source() int { return nw.s }
+
+// Sink returns the sink node.
+func (nw *Network) Sink() int { return nw.t }
+
+// AddEdge adds a directed arc u → v with capacity c and returns its edge id,
+// usable with Flow after solving.
+func (nw *Network) AddEdge(u, v int, c Cap) int {
+	if u < 0 || u >= nw.n || v < 0 || v >= nw.n {
+		panic(fmt.Sprintf("maxflow: arc (%d,%d) out of range", u, v))
+	}
+	if nw.solved {
+		panic("maxflow: AddEdge after solving")
+	}
+	id := len(nw.arcs)
+	nw.arcs = append(nw.arcs, arc{to: v, cap: c.v, inf: c.inf})
+	nw.adj[u] = append(nw.adj[u], id)
+	nw.arcs = append(nw.arcs, arc{to: u})
+	nw.adj[v] = append(nw.adj[v], id+1)
+	return id
+}
+
+// Flow returns the flow on the arc with the given edge id after solving.
+func (nw *Network) Flow(id int) numeric.Rat {
+	if id < 0 || id >= len(nw.arcs) || id%2 != 0 {
+		panic("maxflow: bad edge id")
+	}
+	return nw.arcs[id].flow
+}
+
+// finiteBound returns a value strictly larger than the sum of all finite
+// capacities; substituting it for Inf preserves max flow and finite min cuts.
+func (nw *Network) finiteBound() numeric.Rat {
+	total := numeric.One
+	for i := 0; i < len(nw.arcs); i += 2 {
+		if !nw.arcs[i].inf {
+			total = total.Add(nw.arcs[i].cap)
+		}
+	}
+	return total
+}
+
+// prepare substitutes infinite capacities and resets flows.
+func (nw *Network) prepare() {
+	bound := nw.finiteBound()
+	for i := 0; i < len(nw.arcs); i += 2 {
+		if nw.arcs[i].inf {
+			nw.arcs[i].cap = bound
+		}
+		nw.arcs[i].flow = numeric.Zero
+		nw.arcs[i+1].flow = numeric.Zero
+	}
+	nw.solved = true
+}
+
+// residual returns the residual capacity of arc id.
+func (nw *Network) residual(id int) numeric.Rat {
+	return nw.arcs[id].cap.Sub(nw.arcs[id].flow)
+}
+
+// push sends f along arc id (and -f along its reverse).
+func (nw *Network) push(id int, f numeric.Rat) {
+	nw.arcs[id].flow = nw.arcs[id].flow.Add(f)
+	nw.arcs[id^1].flow = nw.arcs[id^1].flow.Sub(f)
+}
+
+// Algorithm selects a max-flow solver.
+type Algorithm int
+
+const (
+	// Dinic is Dinic's blocking-flow algorithm (the default).
+	Dinic Algorithm = iota
+	// PushRelabel is FIFO push–relabel.
+	PushRelabel
+	// EdmondsKarp is the shortest-augmenting-path baseline.
+	EdmondsKarp
+)
+
+// String names the algorithm for benchmark tables.
+func (a Algorithm) String() string {
+	switch a {
+	case Dinic:
+		return "dinic"
+	case PushRelabel:
+		return "push-relabel"
+	case EdmondsKarp:
+		return "edmonds-karp"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Solve computes a maximum s-t flow with the chosen algorithm and returns
+// its value. The network may be re-solved; flows are reset each time.
+func (nw *Network) Solve(algo Algorithm) numeric.Rat {
+	nw.prepare()
+	switch algo {
+	case Dinic:
+		return nw.dinic()
+	case PushRelabel:
+		return nw.pushRelabel()
+	case EdmondsKarp:
+		return nw.edmondsKarp()
+	default:
+		panic(fmt.Sprintf("maxflow: unknown algorithm %d", int(algo)))
+	}
+}
+
+// CheckConservation verifies flow conservation and capacity constraints
+// after solving; it returns an error describing the first violation. Used
+// by tests and by the allocation mechanism's internal audits.
+func (nw *Network) CheckConservation() error {
+	if !nw.solved {
+		return fmt.Errorf("maxflow: network not solved")
+	}
+	excess := make([]numeric.Rat, nw.n)
+	for u := 0; u < nw.n; u++ {
+		for _, id := range nw.adj[u] {
+			if id%2 != 0 {
+				continue
+			}
+			a := nw.arcs[id]
+			if a.flow.Sign() < 0 {
+				return fmt.Errorf("maxflow: negative flow on arc %d", id)
+			}
+			if a.flow.Cmp(a.cap) > 0 {
+				return fmt.Errorf("maxflow: arc %d overfull: %v > %v", id, a.flow, a.cap)
+			}
+			excess[u] = excess[u].Sub(a.flow)
+			excess[a.to] = excess[a.to].Add(a.flow)
+		}
+	}
+	for v := 0; v < nw.n; v++ {
+		if v == nw.s || v == nw.t {
+			continue
+		}
+		if !excess[v].IsZero() {
+			return fmt.Errorf("maxflow: node %d violates conservation by %v", v, excess[v])
+		}
+	}
+	if !excess[nw.t].Equal(excess[nw.s].Neg()) {
+		return fmt.Errorf("maxflow: source/sink excess mismatch: %v vs %v", excess[nw.s], excess[nw.t])
+	}
+	return nil
+}

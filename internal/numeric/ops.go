@@ -1,0 +1,178 @@
+package numeric
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// bigRat aliases big.Rat so fallback paths read uniformly.
+type bigRat = big.Rat
+
+// Arithmetic operations. Every operation first attempts the int64 fast path
+// and falls back to math/big on overflow; results are demoted back to the
+// fast path whenever they fit, so chains of operations stay cheap.
+
+// Add returns r + s.
+func (r Rat) Add(s Rat) Rat {
+	if r.b == nil && s.b == nil {
+		an, ad := r.parts()
+		bn, bd := s.parts()
+		// a/b + c/d = (a*d + c*b) / (b*d)
+		if x, ok := mul64(an, bd); ok {
+			if y, ok := mul64(bn, ad); ok {
+				if n, ok := add64(x, y); ok {
+					if d, ok := mul64(ad, bd); ok {
+						return makeRat(n, d)
+					}
+				}
+			}
+		}
+	}
+	return demote(new(bigRat).Add(r.bigVal(), s.bigVal()))
+}
+
+// Sub returns r - s.
+func (r Rat) Sub(s Rat) Rat { return r.Add(s.Neg()) }
+
+// Neg returns -r.
+func (r Rat) Neg() Rat {
+	if r.b == nil {
+		n, d := r.parts()
+		// n is never MinInt64 by the representation invariant.
+		return Rat{num: -n, den: d}
+	}
+	return demote(new(bigRat).Neg(r.b))
+}
+
+// Mul returns r * s.
+func (r Rat) Mul(s Rat) Rat {
+	if r.b == nil && s.b == nil {
+		an, ad := r.parts()
+		bn, bd := s.parts()
+		// Cross-reduce first so the fast path survives larger operands.
+		g1 := gcd64(abs64(an), bd)
+		g2 := gcd64(abs64(bn), ad)
+		an, bd = an/g1, bd/g1
+		bn, ad = bn/g2, ad/g2
+		if n, ok := mul64(an, bn); ok {
+			if d, ok := mul64(ad, bd); ok {
+				return makeRat(n, d)
+			}
+		}
+	}
+	return demote(new(bigRat).Mul(r.bigVal(), s.bigVal()))
+}
+
+// Div returns r / s. It panics if s == 0.
+func (r Rat) Div(s Rat) Rat {
+	if s.IsZero() {
+		panic("numeric: division by zero")
+	}
+	return r.Mul(s.Inv())
+}
+
+// Inv returns 1/r. It panics if r == 0.
+func (r Rat) Inv() Rat {
+	if r.IsZero() {
+		panic("numeric: inverse of zero")
+	}
+	if r.b == nil {
+		n, d := r.parts()
+		return makeRat(d, n)
+	}
+	return demote(new(bigRat).Inv(r.b))
+}
+
+// Cmp compares r and s and returns -1, 0 or +1.
+//
+// The fast path compares the cross products a·d′ and c·b′ as 128-bit
+// integers (math/bits.Mul64), so comparisons of int64-backed rationals
+// never fall back to big.Rat regardless of magnitude — comparisons are the
+// single hottest operation in the decomposition DP.
+func (r Rat) Cmp(s Rat) int {
+	if r.b == nil && s.b == nil {
+		an, ad := r.parts()
+		bn, bd := s.parts()
+		// Signs first: denominators are positive, so sign(r) = sign(an).
+		sa, sb := sign64(an), sign64(bn)
+		if sa != sb {
+			if sa < sb {
+				return -1
+			}
+			return 1
+		}
+		if sa == 0 {
+			return 0
+		}
+		// Same non-zero sign: compare |an|·bd vs |bn|·ad in 128 bits and
+		// flip for negatives.
+		hi1, lo1 := bits.Mul64(uint64(abs64(an)), uint64(bd))
+		hi2, lo2 := bits.Mul64(uint64(abs64(bn)), uint64(ad))
+		cmp := 0
+		switch {
+		case hi1 != hi2:
+			if hi1 < hi2 {
+				cmp = -1
+			} else {
+				cmp = 1
+			}
+		case lo1 != lo2:
+			if lo1 < lo2 {
+				cmp = -1
+			} else {
+				cmp = 1
+			}
+		}
+		return cmp * sa
+	}
+	return r.bigVal().Cmp(s.bigVal())
+}
+
+func sign64(x int64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+// Equal reports whether r == s.
+func (r Rat) Equal(s Rat) bool { return r.Cmp(s) == 0 }
+
+// Less reports whether r < s.
+func (r Rat) Less(s Rat) bool { return r.Cmp(s) < 0 }
+
+// LessEq reports whether r <= s.
+func (r Rat) LessEq(s Rat) bool { return r.Cmp(s) <= 0 }
+
+// Min returns the smaller of r and s.
+func (r Rat) Min(s Rat) Rat {
+	if r.Cmp(s) <= 0 {
+		return r
+	}
+	return s
+}
+
+// Max returns the larger of r and s.
+func (r Rat) Max(s Rat) Rat {
+	if r.Cmp(s) >= 0 {
+		return r
+	}
+	return s
+}
+
+// Abs returns |r|.
+func (r Rat) Abs() Rat {
+	if r.Sign() < 0 {
+		return r.Neg()
+	}
+	return r
+}
+
+// MulInt returns r * n.
+func (r Rat) MulInt(n int64) Rat { return r.Mul(FromInt(n)) }
+
+// DivInt returns r / n. It panics if n == 0.
+func (r Rat) DivInt(n int64) Rat { return r.Div(FromInt(n)) }

@@ -1,0 +1,120 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"strings"
+)
+
+// Parse reads a rational from a string. Accepted forms are an integer
+// ("42", "-7"), a fraction ("3/4", "-22/7"), and a decimal ("0.25", "-1.5").
+func Parse(s string) (Rat, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Rat{}, fmt.Errorf("numeric: empty string")
+	}
+	br, ok := new(big.Rat).SetString(s)
+	if !ok {
+		return Rat{}, fmt.Errorf("numeric: cannot parse %q as a rational", s)
+	}
+	return demote(br), nil
+}
+
+// MustParse is Parse that panics on error; intended for constants in tests
+// and examples.
+func MustParse(s string) Rat {
+	r, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (r Rat) MarshalText() ([]byte, error) { return []byte(r.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (r *Rat) UnmarshalText(text []byte) error {
+	v, err := Parse(string(text))
+	if err != nil {
+		return err
+	}
+	*r = v
+	return nil
+}
+
+// Approximate returns the best rational approximation of x with denominator
+// at most maxDen, computed by the continued fraction expansion of x. It is
+// used to snap floating-point candidate points (e.g. per-piece critical
+// points of the Sybil split optimizer) back onto exact rationals.
+//
+// It panics if x is NaN or infinite, or if maxDen < 1.
+func Approximate(x float64, maxDen int64) Rat {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		panic("numeric: cannot approximate a non-finite float")
+	}
+	if maxDen < 1 {
+		panic("numeric: maxDen must be at least 1")
+	}
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	// Continued fraction convergents h/k.
+	var (
+		h0, k0 int64 = 0, 1
+		h1, k1 int64 = 1, 0
+		v            = x
+	)
+	for i := 0; i < 64; i++ {
+		a := int64(math.Floor(v))
+		h2, okh := addMul(h0, a, h1)
+		k2, okk := addMul(k0, a, k1)
+		if !okh || !okk || k2 > maxDen {
+			// Try the best semiconvergent that still fits.
+			if k1 > 0 {
+				amax := (maxDen - k0) / k1
+				if amax > 0 {
+					h2, okh = addMul(h0, amax, h1)
+					k2, okk = addMul(k0, amax, k1)
+					if okh && okk && better(x, h2, k2, h1, k1) {
+						h1, k1 = h2, k2
+					}
+				}
+			}
+			break
+		}
+		h0, k0, h1, k1 = h1, k1, h2, k2
+		frac := v - math.Floor(v)
+		if frac < 1e-15 {
+			break
+		}
+		v = 1 / frac
+	}
+	if k1 == 0 {
+		return Rat{}
+	}
+	r := makeRat(h1, k1)
+	if neg {
+		r = r.Neg()
+	}
+	return r
+}
+
+// addMul returns a + q*b with overflow reporting.
+func addMul(a, q, b int64) (int64, bool) {
+	p, ok := mul64(q, b)
+	if !ok {
+		return 0, false
+	}
+	return add64(a, p)
+}
+
+// better reports whether h2/k2 is at least as close to x as h1/k1.
+func better(x float64, h2, k2, h1, k1 int64) bool {
+	if k1 == 0 {
+		return true
+	}
+	return math.Abs(x-float64(h2)/float64(k2)) <= math.Abs(x-float64(h1)/float64(k1))
+}

@@ -1,0 +1,135 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		err  bool
+	}{
+		{"42", "42", false},
+		{"-7", "-7", false},
+		{"3/4", "3/4", false},
+		{"-22/7", "-22/7", false},
+		{"6/4", "3/2", false},
+		{"0.25", "1/4", false},
+		{"-1.5", "-3/2", false},
+		{"  8 ", "8", false},
+		{"", "", true},
+		{"abc", "", true},
+		{"1/0", "", true},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("Parse(%q) expected error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q) unexpected error: %v", c.in, err)
+			continue
+		}
+		if got.String() != c.want {
+			t.Errorf("Parse(%q) = %q, want %q", c.in, got.String(), c.want)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse of garbage did not panic")
+		}
+	}()
+	MustParse("not a number")
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	f := func(n, d int64) bool {
+		if d == 0 {
+			return true
+		}
+		r := makeRat(n, d)
+		text, err := r.MarshalText()
+		if err != nil {
+			return false
+		}
+		var back Rat
+		if err := back.UnmarshalText(text); err != nil {
+			return false
+		}
+		return back.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproximateExactValues(t *testing.T) {
+	cases := []struct {
+		x      float64
+		maxDen int64
+		want   string
+	}{
+		{0.5, 100, "1/2"},
+		{0.25, 100, "1/4"},
+		{-0.75, 100, "-3/4"},
+		{2, 100, "2"},
+		{0, 100, "0"},
+		{1.0 / 3.0, 1000, "1/3"},
+	}
+	for _, c := range cases {
+		got := Approximate(c.x, c.maxDen)
+		if got.String() != c.want {
+			t.Errorf("Approximate(%v, %d) = %q, want %q", c.x, c.maxDen, got.String(), c.want)
+		}
+	}
+}
+
+func TestApproximatePi(t *testing.T) {
+	got := Approximate(math.Pi, 120)
+	if got.String() != "355/113" {
+		t.Errorf("Approximate(pi, 120) = %v, want 355/113", got)
+	}
+	got = Approximate(math.Pi, 10)
+	if got.String() != "22/7" {
+		t.Errorf("Approximate(pi, 10) = %v, want 22/7", got)
+	}
+}
+
+func TestApproximateRespectsDenominatorBound(t *testing.T) {
+	f := func(xs uint32, md uint16) bool {
+		x := float64(xs) / float64(math.MaxUint32) // in [0, 1]
+		maxDen := int64(md%5000) + 1
+		r := Approximate(x, maxDen)
+		_, den, ok := r.Int64Parts()
+		if !ok {
+			return false
+		}
+		if den > maxDen {
+			return false
+		}
+		// Error is at most 1/maxDen (weak but safe bound for approximations
+		// in [0,1] with denominator ≤ maxDen).
+		return math.Abs(r.Float64()-x) <= 1.0/float64(maxDen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproximatePanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Approximate(NaN) did not panic")
+		}
+	}()
+	Approximate(math.NaN(), 10)
+}

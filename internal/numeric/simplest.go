@@ -1,0 +1,61 @@
+package numeric
+
+import "math/big"
+
+// SimplestBetween returns the rational with the smallest denominator (the
+// Stern–Brocot "simplest" fraction) strictly inside the open interval
+// (a, b). It panics unless a < b.
+//
+// The decomposition breakpoints of Section III-B are ratios of small weight
+// sums; after an exact bisection brackets one inside (a, b), the simplest
+// rational in the bracket recovers the breakpoint itself, letting the
+// interval partition represent singleton intervals ⟨a_i, a_i⟩ exactly.
+func SimplestBetween(a, b Rat) Rat {
+	if b.Cmp(a) <= 0 {
+		panic("numeric: SimplestBetween needs a < b")
+	}
+	switch {
+	case a.Sign() >= 0:
+		return simplestNonneg(a, b)
+	case b.Sign() > 0:
+		return Zero
+	default:
+		return simplestNonneg(b.Neg(), a.Neg()).Neg()
+	}
+}
+
+// simplestNonneg handles 0 ≤ a < b via the Stern–Brocot recursion.
+func simplestNonneg(a, b Rat) Rat {
+	fa := floorRat(a)
+	faR := FromBig(new(big.Rat).SetInt(fa))
+	if next := faR.Add(One); next.Less(b) {
+		// fa+1 ∈ (a, b): the smallest integer beyond a.
+		return next
+	}
+	// Now (a, b) ⊆ (fa, fa+1].
+	if a.Equal(faR) {
+		// (fa, b) with b − fa ∈ (0, 1]: simplest is fa + 1/n for the
+		// smallest integer n with 1/n < b − fa.
+		n := floorRat(b.Sub(a).Inv())
+		nRat := FromBig(new(big.Rat).SetInt(n)).Add(One)
+		return a.Add(nRat.Inv())
+	}
+	// Fractional parts f ∈ (a−fa, b−fa) ⊆ (0, 1]: f = 1/g with g in the
+	// reversed reciprocal interval.
+	fracA := a.Sub(faR)
+	fracB := b.Sub(faR)
+	inner := simplestNonneg(fracB.Inv(), fracA.Inv())
+	return faR.Add(inner.Inv())
+}
+
+// floorRat returns ⌊r⌋ as a big.Int.
+func floorRat(r Rat) *big.Int {
+	br := r.bigVal()
+	q := new(big.Int)
+	m := new(big.Int)
+	q.QuoRem(br.Num(), br.Denom(), m)
+	if m.Sign() < 0 {
+		q.Sub(q, big.NewInt(1))
+	}
+	return q
+}

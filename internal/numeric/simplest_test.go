@@ -1,0 +1,94 @@
+package numeric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplestBetweenKnown(t *testing.T) {
+	cases := []struct{ a, b, want string }{
+		{"0", "1", "1/2"},
+		{"1/3", "1/2", "2/5"},
+		{"0", "1/10", "1/11"},
+		{"2", "3", "5/2"},
+		{"1/2", "5", "1"},
+		{"7/10", "9/10", "3/4"},
+		{"-1", "1", "0"},
+		{"-1/2", "-1/3", "-2/5"},
+		{"3", "27/8", "10/3"},
+		{"41/29", "58/41", "99/70"},
+	}
+	for _, c := range cases {
+		a, b := MustParse(c.a), MustParse(c.b)
+		got := SimplestBetween(a, b)
+		if got.String() != c.want {
+			t.Errorf("SimplestBetween(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSimplestBetweenPanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for a >= b")
+		}
+	}()
+	SimplestBetween(One, One)
+}
+
+func TestSimplestBetweenRecoversBreakpoint(t *testing.T) {
+	// Simulate bisection around a target: the simplest rational in a tight
+	// bracket around p/q (with no simpler fraction nearby) is p/q itself.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		p := int64(rng.Intn(200) + 1)
+		q := int64(rng.Intn(200) + 1)
+		target := New(p, q)
+		eps := New(1, 1<<40)
+		got := SimplestBetween(target.Sub(eps), target.Add(eps))
+		if !got.Equal(target) {
+			t.Fatalf("trial %d: bracket around %v recovered %v", trial, target, got)
+		}
+	}
+}
+
+func TestSimplestBetweenQuickProperties(t *testing.T) {
+	f := func(an, bn int32, adRaw, bdRaw uint16) bool {
+		ad, bd := int64(adRaw)+1, int64(bdRaw)+1
+		a := New(int64(an), ad)
+		b := New(int64(bn), bd)
+		if b.Cmp(a) <= 0 {
+			a, b = b, a
+		}
+		if b.Cmp(a) <= 0 { // equal
+			return true
+		}
+		s := SimplestBetween(a, b)
+		// Strictly inside.
+		if !(a.Less(s) && s.Less(b)) {
+			return false
+		}
+		// No rational with a smaller denominator lies strictly inside:
+		// check all with denominator < s's.
+		_, sd, ok := s.Int64Parts()
+		if !ok || sd > 500 {
+			return true // skip the exhaustive part for large denominators
+		}
+		for d := int64(1); d < sd; d++ {
+			// Numerators to check: floor(a*d) .. ceil(b*d).
+			loN := a.MulInt(d)
+			hiN := b.MulInt(d)
+			for n := loN.Float64() - 2; n <= hiN.Float64()+2; n++ {
+				cand := New(int64(n), d)
+				if a.Less(cand) && cand.Less(b) {
+					return false // simpler fraction existed
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package numeric
+
+// Vector helpers over slices of Rat. These are small conveniences used by
+// the decomposition and allocation code; all of them treat a nil slice as
+// empty.
+
+// Sum returns the sum of xs (0 for an empty slice).
+func Sum(xs []Rat) Rat {
+	s := Rat{}
+	for _, x := range xs {
+		s = s.Add(x)
+	}
+	return s
+}
+
+// SumIndexed returns the sum of w[i] over the given indices.
+func SumIndexed(w []Rat, idx []int) Rat {
+	s := Rat{}
+	for _, i := range idx {
+		s = s.Add(w[i])
+	}
+	return s
+}
+
+// Dot returns the inner product of a and b. It panics if the lengths differ.
+func Dot(a, b []Rat) Rat {
+	if len(a) != len(b) {
+		panic("numeric: Dot length mismatch")
+	}
+	s := Rat{}
+	for i := range a {
+		s = s.Add(a[i].Mul(b[i]))
+	}
+	return s
+}
+
+// MinOf returns the minimum of xs. It panics on an empty slice.
+func MinOf(xs []Rat) Rat {
+	if len(xs) == 0 {
+		panic("numeric: MinOf of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		m = m.Min(x)
+	}
+	return m
+}
+
+// MaxOf returns the maximum of xs. It panics on an empty slice.
+func MaxOf(xs []Rat) Rat {
+	if len(xs) == 0 {
+		panic("numeric: MaxOf of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		m = m.Max(x)
+	}
+	return m
+}
+
+// EqualSlices reports whether a and b have equal length and elements.
+func EqualSlices(a, b []Rat) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Ints converts a slice of int64 into a slice of Rat.
+func Ints(xs ...int64) []Rat {
+	out := make([]Rat, len(xs))
+	for i, x := range xs {
+		out[i] = FromInt(x)
+	}
+	return out
+}
+
+// Clone returns a copy of xs.
+func Clone(xs []Rat) []Rat {
+	if xs == nil {
+		return nil
+	}
+	out := make([]Rat, len(xs))
+	copy(out, xs)
+	return out
+}

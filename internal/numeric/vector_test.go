@@ -1,0 +1,110 @@
+package numeric
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSum(t *testing.T) {
+	if got := Sum(nil); !got.IsZero() {
+		t.Errorf("Sum(nil) = %v", got)
+	}
+	xs := []Rat{New(1, 2), New(1, 3), New(1, 6)}
+	if got := Sum(xs); !got.Equal(One) {
+		t.Errorf("Sum = %v, want 1", got)
+	}
+}
+
+func TestSumIndexed(t *testing.T) {
+	w := Ints(10, 20, 30, 40)
+	if got := SumIndexed(w, []int{0, 2}); !got.Equal(FromInt(40)) {
+		t.Errorf("SumIndexed = %v, want 40", got)
+	}
+	if got := SumIndexed(w, nil); !got.IsZero() {
+		t.Errorf("SumIndexed(empty) = %v", got)
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := Ints(1, 2, 3)
+	b := []Rat{New(1, 2), New(1, 2), New(1, 3)}
+	if got := Dot(a, b); !got.Equal(New(5, 2)) {
+		t.Errorf("Dot = %v, want 5/2", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot(Ints(1), Ints(1, 2))
+}
+
+func TestMinOfMaxOf(t *testing.T) {
+	xs := []Rat{New(1, 2), New(-3, 4), Two}
+	if got := MinOf(xs); !got.Equal(New(-3, 4)) {
+		t.Errorf("MinOf = %v", got)
+	}
+	if got := MaxOf(xs); !got.Equal(Two) {
+		t.Errorf("MaxOf = %v", got)
+	}
+}
+
+func TestMinOfPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MinOf(empty) did not panic")
+		}
+	}()
+	MinOf(nil)
+}
+
+func TestEqualSlices(t *testing.T) {
+	a := Ints(1, 2, 3)
+	b := Ints(1, 2, 3)
+	c := Ints(1, 2)
+	d := Ints(1, 2, 4)
+	if !EqualSlices(a, b) {
+		t.Error("equal slices reported unequal")
+	}
+	if EqualSlices(a, c) || EqualSlices(a, d) {
+		t.Error("unequal slices reported equal")
+	}
+	if !EqualSlices(nil, nil) || !EqualSlices(nil, []Rat{}) {
+		t.Error("empty slices should be equal")
+	}
+}
+
+func TestClone(t *testing.T) {
+	if Clone(nil) != nil {
+		t.Error("Clone(nil) should be nil")
+	}
+	a := Ints(1, 2)
+	b := Clone(a)
+	b[0] = FromInt(99)
+	if !a[0].Equal(One) {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestQuickSumPermutationInvariant(t *testing.T) {
+	f := func(xs []int32, seed uint8) bool {
+		rs := make([]Rat, len(xs))
+		for i, x := range xs {
+			rs[i] = New(int64(x), int64(i%7)+1)
+		}
+		total := Sum(rs)
+		// Rotate by seed and re-sum.
+		if len(rs) > 0 {
+			k := int(seed) % len(rs)
+			rot := append(append([]Rat{}, rs[k:]...), rs[:k]...)
+			return Sum(rot).Equal(total)
+		}
+		return total.IsZero()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

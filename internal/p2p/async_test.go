@@ -1,0 +1,146 @@
+package p2p
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bottleneck"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+func asyncEquilibriumError(t *testing.T, g *graph.Graph, cfg AsyncConfig) float64 {
+	t.Helper()
+	d, err := bottleneck.Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAsync(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for v := 0; v < g.N(); v++ {
+		if e := math.Abs(res.Utilities[v] - d.Utility(g, v).Float64()); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+func TestAsyncSynchronousMatchesEquilibrium(t *testing.T) {
+	g := graph.Path(numeric.Ints(1, 100, 2))
+	err := asyncEquilibriumError(t, g, AsyncConfig{Rounds: 5000, MaxDelay: 1})
+	if err > 1e-6 {
+		t.Fatalf("synchronous async run error %v", err)
+	}
+}
+
+func TestAsyncConvergesUnderDelay(t *testing.T) {
+	// Latency alone must not break convergence: peers answer stale views,
+	// but the fixed point is the same.
+	g := graph.Ring(numeric.Ints(1, 7, 2, 9, 3))
+	for _, delay := range []int{2, 4, 8} {
+		err := asyncEquilibriumError(t, g, AsyncConfig{Rounds: 20000, MaxDelay: delay, Seed: 11})
+		if err > 1e-4 {
+			t.Errorf("delay %d: error %v", delay, err)
+		}
+	}
+}
+
+func TestAsyncConvergesUnderLoss(t *testing.T) {
+	g := graph.Path(numeric.Ints(3, 50, 7))
+	err := asyncEquilibriumError(t, g, AsyncConfig{Rounds: 30000, MaxDelay: 2, DropRate: 0.2, Seed: 13})
+	if err > 1e-3 {
+		t.Fatalf("20%% loss: error %v", err)
+	}
+}
+
+func TestAsyncRecoversAfterChurn(t *testing.T) {
+	// With churn the system is perturbed while peers are away, but once the
+	// run's tail is churn-free (probabilistically, at a low rate) the error
+	// should still be far below the no-protocol baseline. We check that the
+	// final error is small relative to the utility scale.
+	g := graph.Ring(numeric.Ints(10, 20, 30, 40, 50))
+	errVal := asyncEquilibriumError(t, g, AsyncConfig{
+		Rounds: 40000, MaxDelay: 2, ChurnRate: 0.0005, OfflineRounds: 20, Seed: 17,
+	})
+	if errVal > 1.0 {
+		t.Fatalf("churn error %v too large", errVal)
+	}
+}
+
+func TestAsyncChurnEventsCounted(t *testing.T) {
+	g := graph.Ring(numeric.Ints(1, 1, 1, 1))
+	res, err := RunAsync(g, AsyncConfig{Rounds: 2000, ChurnRate: 0.01, OfflineRounds: 5, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OfflineEvents == 0 {
+		t.Error("expected churn events at 1% rate over 2000 rounds")
+	}
+}
+
+func TestAsyncDropAccounting(t *testing.T) {
+	g := graph.Ring(numeric.Ints(1, 1, 1))
+	res, err := RunAsync(g, AsyncConfig{Rounds: 1000, DropRate: 0.5, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Delivered + res.Dropped
+	if total == 0 || res.Dropped == 0 {
+		t.Fatalf("accounting: delivered=%d dropped=%d", res.Delivered, res.Dropped)
+	}
+	frac := float64(res.Dropped) / float64(total)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("drop fraction %v far from 0.5", frac)
+	}
+}
+
+func TestAsyncDeterministicPerSeed(t *testing.T) {
+	g := graph.Ring(numeric.Ints(5, 1, 9, 2))
+	cfg := AsyncConfig{Rounds: 500, MaxDelay: 3, DropRate: 0.1, ChurnRate: 0.002, Seed: 29}
+	a, err := RunAsync(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAsync(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Utilities {
+		if a.Utilities[v] != b.Utilities[v] {
+			t.Fatal("same seed, different outcome")
+		}
+	}
+	if a.Delivered != b.Delivered || a.Dropped != b.Dropped || a.OfflineEvents != b.OfflineEvents {
+		t.Fatal("same seed, different accounting")
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	g := graph.Ring(numeric.Ints(1, 1, 1))
+	if _, err := RunAsync(graph.New(0), AsyncConfig{}); err == nil {
+		t.Error("empty swarm accepted")
+	}
+	if _, err := RunAsync(g, AsyncConfig{DropRate: 1.0}); err == nil {
+		t.Error("drop rate 1 accepted")
+	}
+	if _, err := RunAsync(g, AsyncConfig{ChurnRate: -0.1}); err == nil {
+		t.Error("negative churn accepted")
+	}
+	if _, err := RunAsync(g, AsyncConfig{TrackAgents: []int{5}}); err == nil {
+		t.Error("bad tracked agent accepted")
+	}
+}
+
+func TestAsyncHistoryTracked(t *testing.T) {
+	g := graph.Ring(numeric.Ints(2, 3, 4))
+	res, err := RunAsync(g, AsyncConfig{Rounds: 50, TrackAgents: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 1 || len(res.History[0]) != 50 {
+		t.Fatalf("history shape wrong: %d x %d", len(res.History), len(res.History[0]))
+	}
+}

@@ -1,0 +1,86 @@
+// Package par provides the small deterministic parallelism helpers used by
+// the dynamics simulator and the experiment sweeps: bounded worker pools
+// over index ranges, with panics propagated to the caller.
+//
+// The helpers are deliberately synchronous (fork-join): every call returns
+// only after all work items completed, so callers can treat them as drop-in
+// replacements for sequential loops. Work is handed out by atomic counter,
+// which keeps the schedule dynamic (good for skewed item costs) while the
+// results remain deterministic because items never share mutable state.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the effective worker count for a requested value: n itself
+// when n ≥ 1, otherwise GOMAXPROCS.
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
+// (workers ≤ 0 means GOMAXPROCS). It panics with the first worker panic, if
+// any, after all workers have stopped.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(fmt.Sprintf("par: worker panicked: %v", panicVal))
+	}
+}
+
+// Map applies fn to every index in [0, n) and collects the results in order.
+func Map[R any](n, workers int, fn func(i int) R) []R {
+	out := make([]R, n)
+	ForEach(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

@@ -1,0 +1,145 @@
+package sybil
+
+import (
+	"fmt"
+
+	"repro/internal/bottleneck"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// PairAttackResult reports the outcome of a simultaneous two-agent Sybil
+// attack search.
+type PairAttackResult struct {
+	// HonestA, HonestB are the attackers' honest utilities.
+	HonestA, HonestB numeric.Rat
+	// BestA, BestB are each attacker's highest utility across the searched
+	// joint strategies (possibly from different joint strategies).
+	BestA, BestB numeric.Rat
+	// BestCombined is the highest A+B total, with the corresponding
+	// per-attacker utilities.
+	BestCombined         numeric.Rat
+	CombinedA, CombinedB numeric.Rat
+	RatioA, RatioB       numeric.Rat
+	CombinedRatio        numeric.Rat
+	Tried                int
+}
+
+// PairAttack exhaustively searches simultaneous Sybil attacks by two agents
+// on a ring: each attacker either stays whole or splits into two identities
+// (one per ring neighbor) with weights from a uniform grid. This extends
+// the paper's single-attacker analysis toward coalition deviations (cf. the
+// collective behaviors of [13], [14]).
+//
+// Per-attacker ratios are measured against the all-honest baseline; the
+// combined ratio is (U_A + U_B) under joint deviation over (U_A + U_B)
+// honest. NOTE these are NOT governed by Theorem 8, which bounds unilateral
+// deviations only — and indeed they escape it (experiment E16): a partner's
+// sacrificial split can lift an agent far beyond 2× its honest utility
+// (observed 65×), and even the coalition's combined utility can exceed
+// 2× (observed 335/82 ≈ 4.09× on the ring (128,2,128,128,512,4,32) with
+// attackers 4 and 5). Every such number is an exactly-evaluated strategy,
+// i.e. a rigorous lower-bound certificate.
+func PairAttack(g *graph.Graph, a, b int, grid int) (*PairAttackResult, error) {
+	if !g.IsRing() {
+		return nil, fmt.Errorf("sybil: PairAttack requires a ring")
+	}
+	if a == b || a < 0 || b < 0 || a >= g.N() || b >= g.N() {
+		return nil, fmt.Errorf("sybil: invalid attacker pair (%d, %d)", a, b)
+	}
+	if grid <= 0 {
+		grid = 8
+	}
+	dec, err := bottleneck.Decompose(g)
+	if err != nil {
+		return nil, err
+	}
+	res := &PairAttackResult{
+		HonestA: dec.Utility(g, a),
+		HonestB: dec.Utility(g, b),
+	}
+	res.BestA, res.BestB = res.HonestA, res.HonestB
+	res.BestCombined = res.HonestA.Add(res.HonestB)
+	res.CombinedA, res.CombinedB = res.HonestA, res.HonestB
+
+	// strategies for one attacker: nil = stay whole; otherwise the split
+	// weight fraction k/grid toward the successor neighbor.
+	type strategy struct {
+		split bool
+		k     int
+	}
+	var strategies []strategy
+	strategies = append(strategies, strategy{})
+	for k := 0; k <= grid; k++ {
+		strategies = append(strategies, strategy{split: true, k: k})
+	}
+
+	apply := func(gcur *graph.Graph, v int, st strategy) (*graph.Graph, []int, error) {
+		if !st.split {
+			return gcur, []int{v}, nil
+		}
+		nbs := gcur.Neighbors(v)
+		if len(nbs) != 2 {
+			return nil, nil, fmt.Errorf("sybil: attacker %d no longer has degree 2", v)
+		}
+		wv := gcur.Weight(v)
+		w1 := wv.MulInt(int64(st.k)).DivInt(int64(grid))
+		sp := graph.SplitSpec{
+			V:       v,
+			Parts:   [][]int{{nbs[0]}, {nbs[1]}},
+			Weights: []numeric.Rat{w1, wv.Sub(w1)},
+		}
+		gNew, ids, err := graph.Split(gcur, sp)
+		if err != nil {
+			return nil, nil, err
+		}
+		return gNew, ids, nil
+	}
+
+	for _, stA := range strategies {
+		// Apply A's strategy first; B's vertex index is unchanged because
+		// Split keeps existing indices and appends new ones.
+		g1, idsA, err := apply(g, a, stA)
+		if err != nil {
+			return nil, err
+		}
+		for _, stB := range strategies {
+			g2, idsB, err := apply(g1, b, stB)
+			if err != nil {
+				return nil, err
+			}
+			d, err := bottleneck.Decompose(g2)
+			if err != nil {
+				return nil, fmt.Errorf("sybil: decomposing joint attack: %w", err)
+			}
+			uA, uB := numeric.Zero, numeric.Zero
+			for _, id := range idsA {
+				uA = uA.Add(d.Utility(g2, id))
+			}
+			for _, id := range idsB {
+				uB = uB.Add(d.Utility(g2, id))
+			}
+			res.Tried++
+			if res.BestA.Less(uA) {
+				res.BestA = uA
+			}
+			if res.BestB.Less(uB) {
+				res.BestB = uB
+			}
+			if res.BestCombined.Less(uA.Add(uB)) {
+				res.BestCombined = uA.Add(uB)
+				res.CombinedA, res.CombinedB = uA, uB
+			}
+		}
+	}
+	div := func(num, den numeric.Rat) numeric.Rat {
+		if den.Sign() > 0 {
+			return num.Div(den)
+		}
+		return numeric.One
+	}
+	res.RatioA = div(res.BestA, res.HonestA)
+	res.RatioB = div(res.BestB, res.HonestB)
+	res.CombinedRatio = div(res.BestCombined, res.HonestA.Add(res.HonestB))
+	return res, nil
+}

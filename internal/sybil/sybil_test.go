@@ -1,0 +1,181 @@
+package sybil
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+func TestHonestUtility(t *testing.T) {
+	g := graph.Path(numeric.Ints(1, 100, 1))
+	u, err := HonestUtility(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(numeric.FromInt(2)) {
+		t.Fatalf("U = %v, want 2", u)
+	}
+}
+
+func TestAttackUtilityMatchesManualSplit(t *testing.T) {
+	// Ring of 4, attacker 0 splits into two leaves.
+	g := graph.Ring(numeric.Ints(4, 1, 2, 3))
+	sp := graph.SplitSpec{
+		V:       0,
+		Parts:   [][]int{{1}, {3}},
+		Weights: numeric.Ints(2, 2),
+	}
+	got, err := AttackUtility(g, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual check: the same value computed through graph.Split directly.
+	gp, ids, err := graph.Split(g, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := numeric.Zero
+	for _, id := range ids {
+		u, err := HonestUtility(gp, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = want.Add(u)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("AttackUtility = %v, manual = %v", got, want)
+	}
+}
+
+func TestMisreportBounds(t *testing.T) {
+	g := graph.Ring(numeric.Ints(4, 1, 2, 3))
+	if _, err := MisreportUtility(g, 0, numeric.FromInt(-1)); err == nil {
+		t.Error("negative report accepted")
+	}
+	if _, err := MisreportUtility(g, 0, numeric.FromInt(5)); err == nil {
+		t.Error("over-report accepted")
+	}
+	u, err := MisreportUtility(g, 0, numeric.FromInt(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, err := HonestUtility(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(honest) {
+		t.Errorf("truthful report utility %v != honest %v", u, honest)
+	}
+}
+
+func TestMisreportNeverGains(t *testing.T) {
+	// Theorem 10 (monotonicity) implies truthfulness of reporting: utility
+	// at any x ≤ w_v never exceeds the truthful utility.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		g := graph.RandomRing(rng, rng.Intn(8)+3, graph.WeightDist(rng.Intn(3)))
+		v := rng.Intn(g.N())
+		honest, err := HonestUtility(g, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= 10; k++ {
+			x := g.Weight(v).MulInt(int64(k)).DivInt(10)
+			u, err := MisreportUtility(g, v, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if honest.Less(u) {
+				t.Fatalf("trial %d: misreport %v of %v gains: %v > %v (w=%v)",
+					trial, x, g.Weight(v), u, honest, g.Weights())
+			}
+		}
+	}
+}
+
+func TestPartitions(t *testing.T) {
+	// Bell numbers: |partitions({1,2,3})| = 5 with maxParts ≥ 3.
+	p3 := Partitions([]int{1, 2, 3}, 3)
+	if len(p3) != 5 {
+		t.Fatalf("partitions of 3 items = %d, want 5", len(p3))
+	}
+	// Limited to 1 part: single block.
+	p1 := Partitions([]int{1, 2, 3}, 1)
+	if len(p1) != 1 || len(p1[0]) != 1 || len(p1[0][0]) != 3 {
+		t.Fatalf("maxParts=1: %v", p1)
+	}
+	// Two items, two parts: {{1,2}} and {{1},{2}}.
+	p2 := Partitions([]int{7, 9}, 2)
+	if len(p2) != 2 {
+		t.Fatalf("partitions of 2 items = %d, want 2", len(p2))
+	}
+	if Partitions(nil, 2) != nil {
+		t.Error("partitions of empty set should be nil")
+	}
+}
+
+func TestCompositions(t *testing.T) {
+	got := compositions(3, 2)
+	if len(got) != 4 { // (0,3) (1,2) (2,1) (3,0)
+		t.Fatalf("compositions(3,2) = %v", got)
+	}
+	for _, c := range got {
+		if c[0]+c[1] != 3 {
+			t.Fatalf("bad composition %v", c)
+		}
+	}
+	if got := compositions(5, 1); len(got) != 1 || got[0][0] != 5 {
+		t.Fatalf("compositions(5,1) = %v", got)
+	}
+}
+
+func TestSearchFindsRingGain(t *testing.T) {
+	// A ring where the Sybil attack strictly gains; Search must find a
+	// ratio > 1 and ≤ 2 (Theorem 8).
+	g := graph.Ring(numeric.Ints(8, 1, 8, 8, 1))
+	res, err := Search(g, 0, SearchOptions{GridResolution: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio.Cmp(numeric.One) < 0 {
+		t.Fatalf("ratio %v < 1", res.Ratio)
+	}
+	if numeric.Two.Less(res.Ratio) {
+		t.Fatalf("ratio %v > 2 violates Theorem 8", res.Ratio)
+	}
+	if res.Tried == 0 {
+		t.Fatal("no strategies tried")
+	}
+	if err := res.Spec.Validate(g); err != nil {
+		t.Fatalf("reported best spec invalid: %v", err)
+	}
+}
+
+func TestSearchRespectsTheorem8OnRandomRings(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomRing(rng, rng.Intn(6)+3, graph.WeightDist(rng.Intn(3)))
+		v := rng.Intn(g.N())
+		res, err := Search(g, v, SearchOptions{GridResolution: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if numeric.Two.Less(res.Ratio) {
+			t.Fatalf("trial %d: ratio %v > 2 on ring %v (v=%d)", trial, res.Ratio, g.Weights(), v)
+		}
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	g := graph.Ring(numeric.Ints(1, 1, 1))
+	if _, err := Search(g, 9, SearchOptions{}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	lonely := graph.New(2)
+	lonely.MustSetWeight(0, numeric.One)
+	if _, err := Search(lonely, 0, SearchOptions{}); err == nil {
+		t.Error("degree-0 vertex accepted")
+	}
+}

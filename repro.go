@@ -1,0 +1,251 @@
+// Package repro is a Go reproduction of "Tightening Up the Incentive Ratio
+// for Resource Sharing Over the Rings" (Cheng, Deng, Li — IPPS 2020).
+//
+// The paper studies the proportional response protocol for P2P resource
+// sharing (Wu & Zhang), whose fixed point is computed by the BD Allocation
+// Mechanism from the bottleneck decomposition of the weighted network, and
+// proves that on ring networks the mechanism's incentive ratio against a
+// Sybil attack is exactly 2. This package is the user-facing facade over
+// the full system:
+//
+//   - exact rational arithmetic (Rat),
+//   - weighted graphs and generators (Graph, Ring, Path, ...),
+//   - bottleneck decomposition with three engines (Decompose),
+//   - the BD Allocation Mechanism (Allocate),
+//   - the proportional response dynamics (RunDynamics) and its
+//     message-passing swarm variant (RunSwarm),
+//   - the Sybil attack machinery and the paper's incentive-ratio analysis
+//     (NewInstance, IncentiveRatio, VerifyTheorem8, LowerBoundFamily),
+//   - the experiment drivers regenerating every figure (Experiments*).
+//
+// A five-line tour:
+//
+//	g := repro.Ring(repro.Ints(100, 1, 1, 1, 1, 1, 1, 1, 1))
+//	dec, _ := repro.Decompose(g)                   // bottleneck pairs + α
+//	alloc, _ := repro.Allocate(g, dec)             // equilibrium transfers
+//	ratio, _ := repro.IncentiveRatio(g, 3)         // Sybil gain of agent 3
+//	fmt.Println(dec, alloc.Utility(3), ratio)      // ratio ≤ 2 (Theorem 8)
+package repro
+
+import (
+	"repro/internal/allocation"
+	"repro/internal/analysis"
+	"repro/internal/bottleneck"
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/p2p"
+	"repro/internal/sybil"
+)
+
+// Rat is an exact rational number (int64 fast path, big.Rat fallback).
+type Rat = numeric.Rat
+
+// Exact-arithmetic constructors and helpers.
+var (
+	// NewRat returns the rational n/d (panics if d == 0).
+	NewRat = numeric.New
+	// RatFromInt returns the rational n/1.
+	RatFromInt = numeric.FromInt
+	// ParseRat reads "3", "3/4" or "0.75".
+	ParseRat = numeric.Parse
+	// Ints converts int64 values into a []Rat weight vector.
+	Ints = numeric.Ints
+)
+
+// Graph is an undirected vertex-weighted network of resource-sharing
+// agents.
+type Graph = graph.Graph
+
+// Graph constructors and generators.
+var (
+	// NewGraph returns a graph with n isolated weight-zero vertices.
+	NewGraph = graph.New
+	// Ring builds the cycle on len(ws) ≥ 3 vertices.
+	Ring = graph.Ring
+	// Path builds the path on len(ws) ≥ 1 vertices.
+	Path = graph.Path
+	// Complete builds K_n.
+	Complete = graph.Complete
+	// Star builds a star with center 0.
+	Star = graph.Star
+	// Fig1Graph builds the paper's Fig. 1 example.
+	Fig1Graph = graph.Fig1Graph
+	// ReadGraph parses the text graph format; WriteGraph emits it.
+	ReadGraph  = graph.Read
+	WriteGraph = graph.Write
+)
+
+// Decomposition is a bottleneck decomposition (Definition 2): the ordered
+// pairs (B_i, C_i) with strictly increasing α-ratios.
+type Decomposition = bottleneck.Decomposition
+
+// Class labels a vertex B class, C class, or both (Definition 4).
+type Class = bottleneck.Class
+
+// Class values.
+const (
+	ClassB    = bottleneck.ClassB
+	ClassC    = bottleneck.ClassC
+	ClassBoth = bottleneck.ClassBoth
+)
+
+// Decompose computes the bottleneck decomposition of g with the automatic
+// engine (path/cycle DP where possible, parametric max-flow otherwise).
+func Decompose(g *Graph) (*Decomposition, error) { return bottleneck.Decompose(g) }
+
+// DecomposeParallel decomposes each connected component concurrently and
+// merges the pair sequences by α (exact; see internal/bottleneck).
+func DecomposeParallel(g *Graph, workers int) (*Decomposition, error) {
+	return bottleneck.DecomposeParallel(g, bottleneck.EngineAuto, workers)
+}
+
+// Allocation is a resource allocation X = {x_uv}.
+type Allocation = allocation.Allocation
+
+// Allocate runs the BD Allocation Mechanism (Definition 5): the exact
+// equilibrium allocation of the proportional response dynamics.
+func Allocate(g *Graph, d *Decomposition) (*Allocation, error) {
+	return allocation.Compute(g, d)
+}
+
+// DynamicsOptions configures RunDynamics; DynamicsResult is its outcome.
+type (
+	DynamicsOptions = dynamics.Options
+	DynamicsResult  = dynamics.Result
+)
+
+// RunDynamics simulates the proportional response dynamics (Definition 1).
+func RunDynamics(g *Graph, opts DynamicsOptions) (*DynamicsResult, error) {
+	return dynamics.Run(g, opts)
+}
+
+// SwarmConfig configures RunSwarm; SwarmResult is its outcome.
+type (
+	SwarmConfig = p2p.Config
+	SwarmResult = p2p.Result
+)
+
+// RunSwarm executes the protocol as a concurrent message-passing P2P swarm.
+func RunSwarm(g *Graph, cfg SwarmConfig) (*SwarmResult, error) { return p2p.Run(g, cfg) }
+
+// AsyncSwarmConfig configures RunAsyncSwarm; AsyncSwarmResult is its
+// outcome.
+type (
+	AsyncSwarmConfig = p2p.AsyncConfig
+	AsyncSwarmResult = p2p.AsyncResult
+)
+
+// RunAsyncSwarm executes the protocol under message delay, loss, and peer
+// churn (the robustness scenario of experiment E15).
+func RunAsyncSwarm(g *Graph, cfg AsyncSwarmConfig) (*AsyncSwarmResult, error) {
+	return p2p.RunAsync(g, cfg)
+}
+
+// SplitSpec describes a Sybil attack (identities, neighbor partition,
+// weight division).
+type SplitSpec = graph.SplitSpec
+
+// AttackUtility returns the combined utility of the attacker's identities
+// after the split.
+func AttackUtility(g *Graph, sp SplitSpec) (Rat, error) { return sybil.AttackUtility(g, sp) }
+
+// MisreportUtility returns U_v when v reports x ∈ [0, w_v] instead of w_v
+// (the single-parameter deviation of [7]; never profitable by Theorem 10).
+func MisreportUtility(g *Graph, v int, x Rat) (Rat, error) {
+	return sybil.MisreportUtility(g, v, x)
+}
+
+// SybilSearchOptions tunes SybilSearch; SybilSearchResult reports its best
+// finding.
+type (
+	SybilSearchOptions = sybil.SearchOptions
+	SybilSearchResult  = sybil.SearchResult
+)
+
+// SybilSearch exhaustively probes Sybil strategies of agent v on a general
+// graph (neighbor partitions × a weight grid).
+func SybilSearch(g *Graph, v int, opts SybilSearchOptions) (*SybilSearchResult, error) {
+	return sybil.Search(g, v, opts)
+}
+
+// PairAttackResult reports a simultaneous two-attacker search; see
+// experiment E16 — coalitions are NOT bounded by Theorem 8.
+type PairAttackResult = sybil.PairAttackResult
+
+// PairAttack searches joint Sybil strategies of two ring agents over a
+// weight grid (exactly evaluated; a lower-bound certificate generator).
+func PairAttack(g *Graph, a, b, grid int) (*PairAttackResult, error) {
+	return sybil.PairAttack(g, a, b, grid)
+}
+
+// Misreport-curve analysis (the structure theory of Section III-B).
+type (
+	// CurvePoint is one exact sample of U_v(x), α_v(x) and v's class.
+	CurvePoint = analysis.CurvePoint
+	// AlphaCase classifies α_v(x) per Proposition 11 (Fig. 2).
+	AlphaCase = analysis.AlphaCase
+	// StructureInterval is one maximal interval of constant decomposition
+	// structure (possibly a single point).
+	StructureInterval = analysis.Interval
+)
+
+// Analysis entry points.
+var (
+	// SampleCurve evaluates the misreport curve of agent v exactly.
+	SampleCurve = analysis.SampleCurve
+	// ClassifyAlphaCurve determines the Proposition 11 case.
+	ClassifyAlphaCurve = analysis.ClassifyAlphaCurve
+	// AlphaStar locates the exact α = 1 crossing x* (Case B-3).
+	AlphaStar = analysis.AlphaStar
+	// IntervalPartition computes the structure intervals of [0, w_v].
+	IntervalPartition = analysis.IntervalPartition
+	// VerifyTheorem10 checks misreport-utility monotonicity on a curve.
+	VerifyTheorem10 = analysis.VerifyTheorem10
+)
+
+// SwarmAttackComparison contrasts honest and Sybil swarm runs.
+type SwarmAttackComparison = p2p.AttackComparison
+
+// CompareSwarmAttack runs the message-passing swarm honestly and under the
+// given Sybil split and reports the attacker's realized gain.
+func CompareSwarmAttack(g *Graph, sp SplitSpec, cfg SwarmConfig) (*SwarmAttackComparison, error) {
+	return p2p.CompareAttack(g, sp, cfg)
+}
+
+// Instance is a ring resource-sharing game with a designated manipulative
+// agent — the object of the paper's main theorem.
+type Instance = core.Instance
+
+// OptimizeOptions tunes the exact split optimizer; Verdict bundles a full
+// Theorem 8 verification.
+type (
+	OptimizeOptions = core.OptimizeOptions
+	Verdict         = core.Verdict
+	StageReport     = core.StageReport
+)
+
+// NewInstance validates g as a ring and prepares agent v's attack analysis.
+func NewInstance(g *Graph, v int) (*Instance, error) { return core.NewInstance(g, v) }
+
+// IncentiveRatio returns ζ_v: the agent's best Sybil gain factor on the
+// ring, exactly evaluated (Theorem 8 guarantees ζ_v ≤ 2).
+func IncentiveRatio(g *Graph, v int) (Rat, error) {
+	return core.RingRatio(g, v, core.OptimizeOptions{})
+}
+
+// VerifyTheorem8 optimizes agent v's Sybil split and checks every assertion
+// of the paper's proof along the way.
+func VerifyTheorem8(g *Graph, v int, opts OptimizeOptions) (*Verdict, error) {
+	return core.VerifyTheorem8(g, v, opts)
+}
+
+// LowerBoundFamily builds the ring family whose incentive ratio approaches
+// the tight bound 2: an odd ring of 2k+5 unit vertices plus one heavy
+// vertex, attacker at ring distance 3. The k-th member's H → ∞ ratio is
+// LowerBoundLimitRatio(k) = (2k+1)/(k+1).
+var (
+	LowerBoundFamily     = core.LowerBoundFamily
+	LowerBoundLimitRatio = core.LowerBoundLimitRatio
+)

@@ -233,19 +233,81 @@ func BenchmarkMaxflow(b *testing.B) {
 	}
 }
 
-func BenchmarkOptimizeSplit(b *testing.B) {
-	for _, n := range []int{9, 17, 33} {
+// BenchmarkEvalSplitIncremental measures a w1 sweep on one fixed Instance —
+// the incremental engine's home turf: the interior transfers, warm-start
+// hints and residual tails accumulated by earlier evaluations accelerate
+// later ones. The (w1, w2) → PathEval memoization is disabled so every
+// iteration performs a real decomposition (with it on, a sweep over a fixed
+// grid degenerates into map lookups).
+func BenchmarkEvalSplitIncremental(b *testing.B) {
+	benchEvalSplit(b, true)
+}
+
+// BenchmarkEvalSplitStock is the identical sweep with the incremental engine
+// disabled — each evaluation runs a stock DecomposeWith, the seed execution
+// path.
+func BenchmarkEvalSplitStock(b *testing.B) {
+	benchEvalSplit(b, false)
+}
+
+func benchEvalSplit(b *testing.B, incremental bool) {
+	for _, n := range []int{33, 65, 129} {
 		g, v, err := core.LowerBoundFamily((n-5)/2, numeric.FromInt(1000))
 		if err != nil {
 			b.Fatal(err)
 		}
-		in, err := core.NewInstance(g, v)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			in, err := core.NewInstance(g, v)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in.SetEvalCache(false)
+			in.SetIncremental(incremental)
+			W := in.W()
+			// 1009 distinct splits, revisited cyclically: past the first lap
+			// the sweep is in the steady state an optimizer run lives in.
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w1 := W.MulInt(int64(i%1009 + 1)).DivInt(1010)
+				if _, err := in.EvalSplit(w1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizeSplit measures one complete split optimization with the
+// incremental machinery live. A fresh Instance per iteration keeps the
+// measurement honest: every iteration pays for its own caches, exactly like
+// a caller optimizing a new ring.
+func BenchmarkOptimizeSplit(b *testing.B) {
+	benchOptimizeSplit(b, core.OptimizeOptions{Grid: 32})
+}
+
+// BenchmarkOptimizeSplitCold is the same workload with the evaluation cache
+// and the incremental engine disabled — the seed implementation's execution
+// path, kept runnable for before/after comparisons (see BENCH_optimize.json
+// and cmd/benchjson).
+func BenchmarkOptimizeSplitCold(b *testing.B) {
+	benchOptimizeSplit(b, core.OptimizeOptions{Grid: 32, DisableEvalCache: true, DisableIncremental: true})
+}
+
+func benchOptimizeSplit(b *testing.B, opts core.OptimizeOptions) {
+	for _, n := range []int{9, 17, 33, 65, 129} {
+		g, v, err := core.LowerBoundFamily((n-5)/2, numeric.FromInt(1000))
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := in.Optimize(core.OptimizeOptions{Grid: 32}); err != nil {
+				in, err := core.NewInstance(g, v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := in.Optimize(opts); err != nil {
 					b.Fatal(err)
 				}
 			}

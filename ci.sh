@@ -1,0 +1,11 @@
+#!/bin/sh
+# Repository gate: build, vet, and the full test suite under the race
+# detector (the incremental split engine and the parallel decomposition are
+# exercised concurrently by their tests). Run from the repo root:
+#
+#	./ci.sh
+set -eux
+
+go build ./...
+go vet ./...
+go test -race ./...

@@ -1,0 +1,171 @@
+// Command benchjson runs a Go benchmark selection and records the results
+// as machine-readable JSON, so before/after performance comparisons live in
+// the repository instead of in shell history.
+//
+// Usage:
+//
+//	benchjson [-bench REGEX] [-pkg PKG] [-benchtime T] [-out FILE] [-note S]
+//
+// The default selection is the split-optimizer suite (BenchmarkOptimizeSplit,
+// BenchmarkOptimizeSplitCold, BenchmarkEvalSplitIncremental,
+// BenchmarkEvalSplitStock); the checked-in BENCH_optimize.json was produced
+// with:
+//
+//	go run ./cmd/benchjson -out BENCH_optimize.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the file layout of BENCH_optimize.json. The seed_baseline
+// section is never produced by this tool; it records measurements taken at
+// an earlier commit, and regeneration preserves it (see carryBaseline) so
+// the before/after comparison survives refreshes of the current numbers.
+type Report struct {
+	Generated    string   `json:"generated"`
+	GoVersion    string   `json:"go_version"`
+	GOOS         string   `json:"goos"`
+	GOARCH       string   `json:"goarch"`
+	Bench        string   `json:"bench"`
+	Package      string   `json:"package"`
+	Note         string   `json:"note,omitempty"`
+	SeedNote     string   `json:"seed_note,omitempty"`
+	SeedBaseline []Result `json:"seed_baseline,omitempty"`
+	Results      []Result `json:"results"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", "OptimizeSplit|EvalSplit", "benchmark regex passed to go test -bench")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		benchtime = flag.String("benchtime", "", "go test -benchtime value (empty = default)")
+		out       = flag.String("out", "", "output file (default stdout)")
+		note      = flag.String("note", "", "free-form note stored in the report")
+	)
+	flag.Parse()
+
+	rep, err := collect(*bench, *pkg, *benchtime, *note)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		carryBaseline(rep, *out)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+func collect(bench, pkg, benchtime, note string) (*Report, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem", pkg}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %v: %w", args, err)
+	}
+	results, err := parseBench(buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines matched %q in %s", bench, pkg)
+	}
+	return &Report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     bench,
+		Package:   pkg,
+		Note:      note,
+		Results:   results,
+	}, nil
+}
+
+// carryBaseline copies the seed_baseline section (historical measurements
+// from a pre-change commit, not reproducible at HEAD) from an existing
+// report at path into rep.
+func carryBaseline(rep *Report, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	var old Report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return
+	}
+	rep.SeedNote = old.SeedNote
+	rep.SeedBaseline = old.SeedBaseline
+}
+
+// benchLine matches go test -bench -benchmem output, e.g.
+//
+//	BenchmarkOptimizeSplit/n=065-8  3  392216994 ns/op  174999248 B/op  4072928 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parseBench(out []byte) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}

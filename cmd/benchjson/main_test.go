@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := []byte(`goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkOptimizeSplit/n=009-8         	      24	  49353915 ns/op	23731176 B/op	  570899 allocs/op
+BenchmarkOptimizeSplitCold/n=129-8    	       2	 825839144 ns/op	349139344 B/op	 8133887 allocs/op
+BenchmarkRatAddFastPath-8             	95821337	        12.53 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	42.000s
+`)
+	results, err := parseBench(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results: %+v", len(results), results)
+	}
+	first := results[0]
+	if first.Name != "BenchmarkOptimizeSplit/n=009-8" || first.Iterations != 24 ||
+		first.NsPerOp != 49353915 || first.BytesPerOp != 23731176 || first.AllocsPerOp != 570899 {
+		t.Fatalf("first result: %+v", first)
+	}
+	if results[2].NsPerOp != 12.53 || results[2].BytesPerOp != 0 {
+		t.Fatalf("fractional ns/op: %+v", results[2])
+	}
+}
+
+func TestCarryBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	prev := `{"results": [], "seed_note": "measured at the seed",
+	  "seed_baseline": [{"name": "BenchmarkOptimizeSplit/n=129", "ns_per_op": 825839144}]}`
+	if err := os.WriteFile(path, []byte(prev), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{Results: []Result{{Name: "BenchmarkOptimizeSplit/n=129", NsPerOp: 1}}}
+	carryBaseline(rep, path)
+	if rep.SeedNote != "measured at the seed" || len(rep.SeedBaseline) != 1 ||
+		rep.SeedBaseline[0].NsPerOp != 825839144 {
+		t.Fatalf("baseline not carried: %+v", rep)
+	}
+	// A missing or corrupt previous file leaves the report untouched.
+	carryBaseline(rep, filepath.Join(t.TempDir(), "absent.json"))
+	if len(rep.SeedBaseline) != 1 {
+		t.Fatalf("baseline dropped on missing file: %+v", rep)
+	}
+}
+
+func TestParseBenchNoMem(t *testing.T) {
+	results, err := parseBench([]byte("BenchmarkX-4   100   12345 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].NsPerOp != 12345 || results[0].AllocsPerOp != 0 {
+		t.Fatalf("results: %+v", results)
+	}
+}

@@ -8,6 +8,9 @@
 //	    sweep the lower-bound family (ratio → 2)
 //	sybilscan general [-n N] [-trials T] [-seed S] [-gridres R]
 //	    random general graphs with exhaustive m-split search (conjecture)
+//	sybilscan sweep   [-n N] [-dist D] [-seed S] [-grid G] [-cold]
+//	    dense w1 sweep on one random ring: best sampled split, incremental
+//	    engine timing vs the from-scratch baseline, and solver statistics
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -47,6 +51,7 @@ func run(args []string, w io.Writer) error {
 		kmax    = fs.Int("kmax", 16, "largest family index")
 		heavy   = fs.String("heavy", "1000000", "heavy vertex weight")
 		gridres = fs.Int("gridres", 8, "weight-simplex grid for general search")
+		cold    = fs.Bool("cold", false, "sweep: disable the incremental engine (baseline timing only)")
 	)
 	if err := fs.Parse(rest); err != nil {
 		return err
@@ -136,6 +141,48 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "general graphs (n=%d, %d trials): worst ratio %.6f ≤ 2\n", *n, *trials, worst.Float64())
 		if worstDesc != "" {
 			fmt.Fprintln(w, "  argmax:", worstDesc)
+		}
+		return nil
+
+	case "sweep":
+		if *grid <= 0 {
+			*grid = 64 // RingSweep's own default; keep the report honest
+		}
+		g := graph.RandomRing(rng, *n, dist)
+		v := rng.Intn(*n)
+		t0 := time.Now()
+		sw, err := sybil.RingSweep(g, v, sybil.SweepOptions{Grid: *grid, Cold: *cold})
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(t0)
+		mode := "incremental"
+		if *cold {
+			mode = "cold"
+		}
+		fmt.Fprintf(w, "sweep of %d splits on a random %v ring (n=%d, v=%d, %s engine): %v\n",
+			*grid+1, dist, *n, v, mode, elapsed.Round(time.Microsecond))
+		fmt.Fprintf(w, "  best sampled split w1 = %v  U = %.6f  honest = %.6f  ratio = %.6f\n",
+			sw.BestW1, sw.BestU.Float64(), sw.Honest.Float64(), sw.Ratio.Float64())
+		st := sw.Stats.Solver
+		fmt.Fprintf(w, "  solver: %d evals (%d stock fallbacks), Dinkelbach warm/cold %d/%d + %d/%d later, %d warm restarts\n",
+			st.Evals, st.Fallbacks, st.Stage1Warm, st.Stage1Cold, st.LaterWarm, st.LaterCold, st.WarmRestarts)
+		fmt.Fprintf(w, "  caches: transfers %d hit / %d miss, tails %d hit / %d miss\n",
+			st.TransferHits, st.TransferMisses, st.TailHits, st.TailMisses)
+		if !*cold {
+			// Re-run from scratch for an in-place before/after comparison.
+			t1 := time.Now()
+			cw, err := sybil.RingSweep(g, v, sybil.SweepOptions{Grid: *grid, Cold: true})
+			if err != nil {
+				return err
+			}
+			coldElapsed := time.Since(t1)
+			if !cw.BestU.Equal(sw.BestU) || !cw.Ratio.Equal(sw.Ratio) {
+				return fmt.Errorf("ENGINE MISMATCH: incremental (U=%v ζ=%v) vs cold (U=%v ζ=%v)",
+					sw.BestU, sw.Ratio, cw.BestU, cw.Ratio)
+			}
+			fmt.Fprintf(w, "  cold baseline (identical results): %v  (%.1fx slower)\n",
+				coldElapsed.Round(time.Microsecond), float64(coldElapsed)/float64(elapsed))
 		}
 		return nil
 

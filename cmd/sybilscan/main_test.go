@@ -42,6 +42,28 @@ func TestGeneralMode(t *testing.T) {
 	}
 }
 
+func TestSweepMode(t *testing.T) {
+	out, err := runCapture(t, "sweep", "-n", "9", "-grid", "24", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"incremental engine", "best sampled split", "solver:", "caches:", "cold baseline (identical results)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepModeCold(t *testing.T) {
+	out, err := runCapture(t, "sweep", "-n", "7", "-grid", "12", "-cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cold engine") || strings.Contains(out, "cold baseline") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
 func TestDistributions(t *testing.T) {
 	for _, d := range []string{"uniform", "skewed", "powers", "unit"} {
 		if _, err := runCapture(t, "rings", "-n", "4", "-trials", "2", "-grid", "8", "-dist", d); err != nil {

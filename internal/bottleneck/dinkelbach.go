@@ -1,6 +1,7 @@
 package bottleneck
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/graph"
@@ -25,6 +26,11 @@ type minimizeOracle interface {
 	maximal(lambda numeric.Rat) []int
 }
 
+// errWarmTooLow reports that a warm-started Dinkelbach run began below the
+// optimum λ*: the subproblem minimum is 0 but only zero-weight sets attain
+// it, so the run cannot certify a bottleneck. Callers restart cold.
+var errWarmTooLow = errors.New("bottleneck: warm start below λ*")
+
 // maxBottleneck runs Dinkelbach's parametric method: starting from
 // λ = α(V) ≤ 1 it alternates between solving the λ-subproblem and updating
 // λ ← α(S) for the returned minimizer S. Every iterate is an attained
@@ -42,8 +48,61 @@ func maxBottleneck(g *graph.Graph, o minimizeOracle, iterTrace func(lambda, valu
 		all[i] = i
 	}
 	lambda := g.WeightOf(g.NeighborhoodSet(all)).Div(wV) // α(V) ≤ 1
+	return maxBottleneckFrom(g, o, lambda, false, iterTrace)
+}
+
+// maxBottleneckWarm runs maxBottleneck but first tries the supplied warm
+// start λ0 (typically the λ* of a structurally nearby instance). Any
+// λ0 ≥ λ* converges to the identical (λ*, maximal bottleneck) fixed point —
+// the optimum is unique, so warm starting can change only the iterate path,
+// never the answer. A λ0 that undershoots λ* is detected (the subproblem
+// minimum is 0 yet no positive-weight set attains it) and the search
+// restarts from the cold λ = α(V).
+func maxBottleneckWarm(g *graph.Graph, o minimizeOracle, warm numeric.Rat) (numeric.Rat, []int, bool, error) {
+	if warm.Sign() > 0 && warm.Cmp(numeric.One) <= 0 {
+		alpha, S, err := maxBottleneckFrom(g, o, warm, true, nil)
+		if err == nil {
+			return alpha, S, true, nil
+		}
+		if !errors.Is(err, errWarmTooLow) {
+			return numeric.Rat{}, nil, false, err
+		}
+	}
+	alpha, S, err := maxBottleneck(g, o, nil)
+	return alpha, S, false, err
+}
+
+// maxBottleneckWarmAt is maxBottleneckWarm for callers that have no
+// materialized graph: the vertex count, the weight function and the cold
+// starting iterate α(V) are supplied directly. The loop is byte-identical
+// to the graph-backed path.
+func maxBottleneckWarmAt(n int, weightOf func([]int) numeric.Rat, alphaV numeric.Rat, o minimizeOracle, warm numeric.Rat) (numeric.Rat, []int, bool, error) {
+	if warm.Sign() > 0 && warm.Cmp(numeric.One) <= 0 {
+		alpha, S, err := dinkelbachLoop(n, weightOf, o, warm, true, nil)
+		if err == nil {
+			return alpha, S, true, nil
+		}
+		if !errors.Is(err, errWarmTooLow) {
+			return numeric.Rat{}, nil, false, err
+		}
+	}
+	alpha, S, err := dinkelbachLoop(n, weightOf, o, alphaV, false, nil)
+	return alpha, S, false, err
+}
+
+// maxBottleneckFrom is the Dinkelbach loop body with an explicit starting
+// λ. With warm set, an undershooting start is reported as errWarmTooLow
+// instead of a hard failure.
+func maxBottleneckFrom(g *graph.Graph, o minimizeOracle, lambda numeric.Rat, warm bool, iterTrace func(lambda, value numeric.Rat)) (numeric.Rat, []int, error) {
+	return dinkelbachLoop(g.N(), g.WeightOf, o, lambda, warm, iterTrace)
+}
+
+// dinkelbachLoop is the graph-agnostic Dinkelbach iteration: only the vertex
+// count (for the safety bound) and a weight function (for the degeneracy
+// check at λ*) are needed beyond the oracle.
+func dinkelbachLoop(n int, weightOf func([]int) numeric.Rat, o minimizeOracle, lambda numeric.Rat, warm bool, iterTrace func(lambda, value numeric.Rat)) (numeric.Rat, []int, error) {
 	for iter := 0; ; iter++ {
-		if iter > g.N()*g.N()+64 {
+		if iter > n*n+64 {
 			// Dinkelbach over exact rationals converges in far fewer steps;
 			// exceeding this bound means a solver bug, not a hard instance.
 			return numeric.Rat{}, nil, fmt.Errorf("bottleneck: Dinkelbach did not converge after %d iterations", iter)
@@ -57,7 +116,10 @@ func maxBottleneck(g *graph.Graph, o minimizeOracle, iterTrace func(lambda, valu
 		}
 		if val.Sign() == 0 {
 			S := o.maximal(lambda)
-			if g.WeightOf(S).Sign() <= 0 {
+			if weightOf(S).Sign() <= 0 {
+				if warm {
+					return numeric.Rat{}, nil, errWarmTooLow
+				}
 				return numeric.Rat{}, nil, fmt.Errorf("bottleneck: degenerate maximal minimizer at λ=%v", lambda)
 			}
 			return lambda, S, nil

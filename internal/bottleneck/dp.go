@@ -21,8 +21,41 @@ import (
 // maximal minimizers are found by membership probes: v belongs to the
 // maximal minimizer iff forcing s_v = 1 does not raise the component's
 // minimum (minimizers of a submodular function are closed under union).
+// dpOracle memoizes the prepared per-component plans for the most recent λ:
+// Dinkelbach calls value(λ) and then maximal(λ) at the same λ, and preparing
+// a plan costs an O(n) sweep of big.Int multiplies. The memo makes a single
+// oracle unsafe for concurrent use; every construction site builds one
+// oracle per decomposition stage, used by one goroutine.
 type dpOracle struct {
 	comps []dpComponent
+
+	memoOK     bool
+	memoLambda numeric.Rat
+	memoPlans  []dpPlan
+}
+
+// dpPlan is a prepared λ-instance for one component: the machine-integer
+// fast path when magnitudes fit, the gcd-free big.Int plan otherwise.
+type dpPlan struct {
+	isInt bool
+	ip    intPlan
+	bp    bigPlan
+}
+
+func (o *dpOracle) plansFor(lambda numeric.Rat) []dpPlan {
+	if o.memoOK && o.memoLambda.Equal(lambda) {
+		return o.memoPlans
+	}
+	plans := make([]dpPlan, len(o.comps))
+	for i, c := range o.comps {
+		if ip, ok := c.intPlanFor(lambda); ok {
+			plans[i] = dpPlan{isInt: true, ip: ip}
+		} else {
+			plans[i] = dpPlan{bp: c.bigPlanFor(lambda)}
+		}
+	}
+	o.memoOK, o.memoLambda, o.memoPlans = true, lambda, plans
+	return plans
 }
 
 type dpComponent struct {
@@ -69,9 +102,20 @@ func newDPOracle(g *graph.Graph) (*dpOracle, error) {
 // value sums the per-component minima and minimizer weights with a cheap
 // forward-only pass; the full membership machinery runs only in maximal.
 func (o *dpOracle) value(lambda numeric.Rat) (numeric.Rat, numeric.Rat) {
+	plans := o.plansFor(lambda)
 	total, wS := numeric.Zero, numeric.Zero
-	for _, c := range o.comps {
-		cw := c.valuePass(lambda)
+	for i, c := range o.comps {
+		var cw costW
+		switch pl := plans[i]; {
+		case pl.isInt && c.cycle:
+			cw = c.cycleValueInt(pl.ip)
+		case pl.isInt:
+			cw = c.pathValueInt(pl.ip)
+		case c.cycle:
+			cw = c.cycleValueBig(pl.bp)
+		default:
+			cw = c.pathValueBig(pl.bp)
+		}
 		total = total.Add(cw.cost)
 		wS = wS.Add(cw.wS)
 	}
@@ -79,18 +123,19 @@ func (o *dpOracle) value(lambda numeric.Rat) (numeric.Rat, numeric.Rat) {
 }
 
 func (o *dpOracle) maximal(lambda numeric.Rat) []int {
+	plans := o.plansFor(lambda)
 	var maximal []int
-	for _, c := range o.comps {
+	for ci, c := range o.comps {
 		var members []bool
-		switch pl, ok := c.intPlanFor(lambda); {
-		case ok && c.cycle:
-			_, members = c.cycleMembershipInt(pl)
-		case ok:
-			_, members = c.pathMembershipInt(pl)
+		switch pl := plans[ci]; {
+		case pl.isInt && c.cycle:
+			_, members = c.cycleMembershipInt(pl.ip)
+		case pl.isInt:
+			_, members = c.pathMembershipInt(pl.ip)
 		case c.cycle:
-			_, members = c.cycleMembership(lambda)
+			_, members = c.cycleMembershipBig(pl.bp)
 		default:
-			_, members = c.pathMembership(lambda)
+			_, members = c.pathMembershipBig(pl.bp)
 		}
 		for i, v := range c.order {
 			if members[i] {
@@ -128,7 +173,10 @@ func (a costW) add(cost, w numeric.Rat) costW {
 }
 
 // valuePass runs the forward-only (cost, weight) DP over the component,
-// preferring the integer fast path (dpint.go) whenever the magnitudes fit.
+// preferring the machine-integer fast path (dpint.go) whenever the
+// magnitudes fit and the gcd-free big.Int plan (dpbig.go) otherwise. The
+// fully normalized rational passes below remain as the reference
+// implementation the fast paths are tested against.
 func (c dpComponent) valuePass(lambda numeric.Rat) costW {
 	if pl, ok := c.intPlanFor(lambda); ok {
 		if c.cycle {
@@ -136,11 +184,11 @@ func (c dpComponent) valuePass(lambda numeric.Rat) costW {
 		}
 		return c.pathValueInt(pl)
 	}
-	sel := c.selCosts(lambda)
+	pl := c.bigPlanFor(lambda)
 	if c.cycle {
-		return c.cycleValue(sel)
+		return c.cycleValueBig(pl)
 	}
-	return c.pathValue(sel)
+	return c.pathValueBig(pl)
 }
 
 // selCosts precomputes −λ·w_i for every vertex of the component.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/numeric"
 	"repro/internal/par"
 )
 
@@ -41,14 +42,25 @@ func DecomposeParallel(g *graph.Graph, engine Engine, workers int) (*Decompositi
 		dec, err := DecomposeWith(sub, engine)
 		return result{dec: dec, orig: orig, err: err}
 	})
+	// Zero-weight convention pairs (w(B) = 0, the trailing self-pairs of
+	// DecomposeWith's zero-attachment convention) stay out of the α-merge:
+	// the global extraction never sees zero-weight vertices in a real stage,
+	// so they union into the single trailing pair instead of being absorbed
+	// by a positive α = 1 bottleneck.
 	var all []Pair
+	var zeroTrail []int
 	for i, r := range results {
 		if r.err != nil {
 			return nil, fmt.Errorf("bottleneck: component %d: %w", i, r.err)
 		}
 		for _, p := range r.dec.Pairs {
+			b := mapBack(p.B, r.orig)
+			if g.WeightOf(b).Sign() == 0 {
+				zeroTrail = unionSortedInts(zeroTrail, b)
+				continue
+			}
 			all = append(all, Pair{
-				B:     mapBack(p.B, r.orig),
+				B:     b,
 				C:     mapBack(p.C, r.orig),
 				Alpha: p.Alpha,
 			})
@@ -66,6 +78,9 @@ func DecomposeParallel(g *graph.Graph, engine Engine, workers int) (*Decompositi
 		}
 		d.Pairs = append(d.Pairs, merged)
 		i = j
+	}
+	if len(zeroTrail) > 0 {
+		d.Pairs = append(d.Pairs, Pair{B: zeroTrail, C: zeroTrail, Alpha: numeric.One})
 	}
 	if err := d.finish(g.N()); err != nil {
 		return nil, err

@@ -66,6 +66,65 @@ func TestDecomposeParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+func TestDecomposeParallelRandomForests(t *testing.T) {
+	// Forests of disjoint paths: small integer weights make equal-α ties
+	// across components common (exercising the pair-merging path), sprinkled
+	// zero weights engage the zero-attachment convention, and a duplicated
+	// block forces exact ties half the time.
+	rng := rand.New(rand.NewSource(787))
+	for trial := 0; trial < 80; trial++ {
+		paths := rng.Intn(4) + 2
+		var blocks [][]numeric.Rat
+		for p := 0; p < paths; p++ {
+			s := rng.Intn(5) + 1
+			ws := make([]numeric.Rat, s)
+			for i := range ws {
+				if rng.Intn(8) == 0 {
+					ws[i] = numeric.Zero
+				} else {
+					ws[i] = numeric.FromInt(int64(rng.Intn(4) + 1))
+				}
+			}
+			blocks = append(blocks, ws)
+		}
+		if rng.Intn(2) == 0 {
+			blocks = append(blocks, append([]numeric.Rat(nil), blocks[0]...))
+		}
+		total := 0
+		for _, ws := range blocks {
+			total += len(ws)
+		}
+		g := graph.New(total)
+		base := 0
+		positive := false
+		for _, ws := range blocks {
+			for i, w := range ws {
+				g.MustSetWeight(base+i, w)
+				positive = positive || w.Sign() > 0
+				if i > 0 {
+					g.MustAddEdge(base+i-1, base+i)
+				}
+			}
+			base += len(ws)
+		}
+		if !positive {
+			g.MustSetWeight(0, numeric.One)
+		}
+		seq, err := DecomposeWith(g, EngineAuto)
+		if err != nil {
+			t.Fatalf("trial %d sequential: %v (weights %v)", trial, err, g.Weights())
+		}
+		parl, err := DecomposeParallel(g, EnginePathDP, 3)
+		if err != nil {
+			t.Fatalf("trial %d parallel: %v (weights %v)", trial, err, g.Weights())
+		}
+		if !decompositionsEqual(seq, parl) {
+			t.Fatalf("trial %d: parallel %v != sequential %v (weights %v)",
+				trial, parl, seq, g.Weights())
+		}
+	}
+}
+
 func TestDecomposeParallelConnectedDelegates(t *testing.T) {
 	g := graph.Ring(numeric.Ints(1, 100, 1, 5, 5))
 	seq, err := DecomposeWith(g, EngineAuto)

@@ -20,6 +20,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/allocation"
 	"repro/internal/bottleneck"
@@ -29,6 +31,13 @@ import (
 
 // Instance is a ring resource-sharing game with a designated manipulative
 // agent.
+//
+// An Instance memoizes split evaluations: every distinct (w1, w2) pair is
+// decomposed at most once (exact rational keys, so 1/3 and 2/6 share an
+// entry), and fresh evaluations run through an incremental
+// bottleneck.SplitSolver that reuses interior DP state across the sweep.
+// Both layers are exact and safe for concurrent use — the optimizer's grid
+// phase evaluates splits from many goroutines.
 type Instance struct {
 	G *graph.Graph // the ring
 	V int          // the manipulative agent
@@ -46,6 +55,38 @@ type Instance struct {
 	// order n1 ... n2 (i.e. the ring order starting after v).
 	interior []int
 	n1, n2   int
+
+	// Split-evaluation machinery, fixed at construction: the interior
+	// weights and identity labels never change between evaluations, so they
+	// are computed once, and path-weight scratch slices are pooled
+	// (graph.Path copies its input).
+	interiorWs     []numeric.Rat
+	origOf         []int
+	label1, label2 string
+	solver         *bottleneck.SplitSolver
+	wsPool         sync.Pool
+
+	evalMu    sync.RWMutex
+	evalCache map[evalKey]*PathEval
+
+	cacheOff, incrementalOff atomic.Bool
+	cacheHits, cacheMisses   atomic.Int64
+}
+
+// evalKey is the exact identity of a configuration: canonical rational
+// strings, so equal rationals with different representations collide.
+type evalKey struct {
+	w1, w2 string
+}
+
+// EvalStats reports the Instance's split-evaluation cache behavior.
+type EvalStats struct {
+	// CacheHits / CacheMisses count EvalPair calls served from / added to
+	// the per-instance evaluation cache.
+	CacheHits, CacheMisses int64
+	// Solver holds the incremental engine's own counters (warm starts,
+	// transfer and tail cache hits, stock-engine fallbacks).
+	Solver bottleneck.SplitSolverStats
 }
 
 // NewInstance validates g as a ring and precomputes the honest-side data.
@@ -83,7 +124,42 @@ func NewInstance(g *graph.Graph, v int) (*Instance, error) {
 		return nil, fmt.Errorf("core: honest allocation sends %v+%v ≠ w_v = %v",
 			in.W1Zero, in.W2Zero, g.Weight(v))
 	}
+	n := len(in.interior) + 2
+	in.interiorWs = make([]numeric.Rat, len(in.interior))
+	in.origOf = make([]int, n)
+	in.origOf[0], in.origOf[n-1] = -1, -1
+	for i, u := range in.interior {
+		in.interiorWs[i] = g.Weight(u)
+		in.origOf[i+1] = u
+	}
+	in.label1 = fmt.Sprintf("%s^1", g.Label(v))
+	in.label2 = fmt.Sprintf("%s^2", g.Label(v))
+	in.solver = bottleneck.NewSplitSolver(in.interiorWs)
+	in.wsPool.New = func() any {
+		ws := make([]numeric.Rat, n)
+		return &ws
+	}
+	in.evalCache = make(map[evalKey]*PathEval)
 	return in, nil
+}
+
+// SetEvalCache enables or disables the per-instance evaluation cache
+// (enabled by default). Disabling is a benchmarking knob: correctness never
+// depends on the cache.
+func (in *Instance) SetEvalCache(on bool) { in.cacheOff.Store(!on) }
+
+// SetIncremental enables or disables the incremental split engine (enabled
+// by default); when off, fresh evaluations run a stock
+// bottleneck.DecomposeWith per call, reproducing the pre-cache behavior.
+func (in *Instance) SetIncremental(on bool) { in.incrementalOff.Store(!on) }
+
+// EvalStats returns a snapshot of the evaluation-cache counters.
+func (in *Instance) EvalStats() EvalStats {
+	return EvalStats{
+		CacheHits:   in.cacheHits.Load(),
+		CacheMisses: in.cacheMisses.Load(),
+		Solver:      in.solver.Stats(),
+	}
 }
 
 // W returns w_v, the attacker's total endowment.
@@ -114,29 +190,70 @@ type PathEval struct {
 // EvalPair evaluates the configuration P_v(w1, w2) for arbitrary
 // non-negative leaf weights — including the off-simplex intermediate
 // configurations of the proof's Stages C-1/C-2 and D-1/D-2 where
-// w1 + w2 ≠ w_v.
+// w1 + w2 ≠ w_v. Results are memoized per exact (w1, w2), so repeated
+// evaluations (bisection revisits, breakpoint re-checks, the honest-split
+// seed) return the same *PathEval without re-decomposing. PathEval is
+// immutable after construction, which makes the sharing sound.
 func (in *Instance) EvalPair(w1, w2 numeric.Rat) (*PathEval, error) {
 	if w1.Sign() < 0 || w2.Sign() < 0 {
 		return nil, fmt.Errorf("core: negative identity weight (%v, %v)", w1, w2)
 	}
-	n := len(in.interior) + 2
-	ws := make([]numeric.Rat, n)
-	orig := make([]int, n)
-	ws[0], orig[0] = w1, -1
-	for i, u := range in.interior {
-		ws[i+1], orig[i+1] = in.G.Weight(u), u
+	useCache := !in.cacheOff.Load()
+	var key evalKey
+	if useCache {
+		key = evalKey{w1: w1.String(), w2: w2.String()}
+		in.evalMu.RLock()
+		ev, ok := in.evalCache[key]
+		in.evalMu.RUnlock()
+		if ok {
+			in.cacheHits.Add(1)
+			return ev, nil
+		}
 	}
-	ws[n-1], orig[n-1] = w2, -1
-	p := graph.Path(ws)
-	p.SetLabel(0, fmt.Sprintf("%s^1", in.G.Label(in.V)))
-	p.SetLabel(n-1, fmt.Sprintf("%s^2", in.G.Label(in.V)))
-	dec, err := bottleneck.DecomposeWith(p, bottleneck.EnginePathDP)
+	ev, err := in.evalPairFresh(w1, w2)
+	if err != nil {
+		return nil, err
+	}
+	if useCache {
+		in.evalMu.Lock()
+		if prev, ok := in.evalCache[key]; ok {
+			ev = prev // concurrent compute: keep one canonical pointer
+		} else {
+			in.evalCache[key] = ev
+		}
+		in.evalMu.Unlock()
+		in.cacheMisses.Add(1)
+	}
+	return ev, nil
+}
+
+// evalPairFresh builds and decomposes the path for one configuration.
+func (in *Instance) evalPairFresh(w1, w2 numeric.Rat) (*PathEval, error) {
+	n := len(in.interior) + 2
+	wsp := in.wsPool.Get().(*[]numeric.Rat)
+	ws := *wsp
+	ws[0] = w1
+	copy(ws[1:n-1], in.interiorWs)
+	ws[n-1] = w2
+	p := graph.Path(ws) // copies ws; the scratch slice goes back to the pool
+	in.wsPool.Put(wsp)
+	p.SetLabel(0, in.label1)
+	p.SetLabel(n-1, in.label2)
+	var (
+		dec *bottleneck.Decomposition
+		err error
+	)
+	if in.incrementalOff.Load() {
+		dec, err = bottleneck.DecomposeWith(p, bottleneck.EnginePathDP)
+	} else {
+		dec, err = in.solver.Eval(p, w1, w2)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: decomposing P_v(%v, %v): %w", w1, w2, err)
 	}
 	ev := &PathEval{
 		W1: w1, W2: w2,
-		Path: p, OrigOf: orig,
+		Path: p, OrigOf: in.origOf,
 		V1: 0, V2: n - 1,
 		Dec: dec,
 		U1:  dec.Utility(p, 0),

@@ -28,6 +28,16 @@ type OptimizeOptions struct {
 	// Workers is the parallel worker count for the grid phase (≤ 0 =
 	// GOMAXPROCS).
 	Workers int
+	// DisableEvalCache turns off the Instance's (w1, w2) → PathEval
+	// memoization for this optimization run, forcing every grid point,
+	// bisection probe and piece sample to decompose from scratch. A
+	// benchmarking knob; results are identical either way.
+	DisableEvalCache bool
+	// DisableIncremental turns off the incremental split engine for this
+	// run, so fresh evaluations use a stock per-call DecomposeWith — the
+	// pre-optimization baseline. A benchmarking knob; results are identical
+	// either way.
+	DisableIncremental bool
 }
 
 func (o OptimizeOptions) withDefaults() OptimizeOptions {
@@ -90,6 +100,8 @@ type OptResult struct {
 // check with exact arithmetic.
 func (in *Instance) Optimize(opts OptimizeOptions) (*OptResult, error) {
 	opts = opts.withDefaults()
+	in.SetEvalCache(!opts.DisableEvalCache)
+	in.SetIncremental(!opts.DisableIncremental)
 	W := in.W()
 	res := &OptResult{}
 	if W.IsZero() {

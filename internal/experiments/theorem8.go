@@ -17,19 +17,26 @@ import (
 func E5Theorem8UpperBound(s Scale) (*Table, error) {
 	rng := rand.New(rand.NewSource(s.Seed))
 	t := NewTable("E5 / Theorem 8 — incentive ratio upper bound on random rings",
-		"n", "dist", "instances", "max ratio", "argmax weights", "all <= 2")
+		"n", "dist", "instances", "max ratio", "argmax weights", "cache hit", "warm dink", "all <= 2")
 	two := numeric.Two
 	for _, n := range s.RingSizes {
 		for _, dist := range []graph.WeightDist{graph.DistUniform, graph.DistSkewed, graph.DistPowers} {
 			worst := numeric.One
 			var worstW string
+			var st core.EvalStats
 			for trial := 0; trial < s.Trials; trial++ {
 				g := graph.RandomRing(rng, n, dist)
 				v := rng.Intn(n)
-				ratio, err := core.RingRatio(g, v, core.OptimizeOptions{Grid: s.OptGrid})
+				in, err := core.NewInstance(g, v)
 				if err != nil {
 					return t, fmt.Errorf("E5 (n=%d, %v): %w", n, dist, err)
 				}
+				opt, err := in.Optimize(core.OptimizeOptions{Grid: s.OptGrid})
+				if err != nil {
+					return t, fmt.Errorf("E5 (n=%d, %v): %w", n, dist, err)
+				}
+				accumulateStats(&st, in.EvalStats())
+				ratio := opt.Ratio
 				if two.Less(ratio) {
 					return t, fmt.Errorf("E5: ratio %v > 2 on ring %v (v=%d)", ratio, g.Weights(), v)
 				}
@@ -38,10 +45,11 @@ func E5Theorem8UpperBound(s Scale) (*Table, error) {
 					worstW = fmt.Sprintf("%v@%d", g.Weights(), v)
 				}
 			}
-			t.Add(n, dist, s.Trials, fmtF(worst.Float64()), worstW, true)
+			t.Add(n, dist, s.Trials, fmtF(worst.Float64()), worstW,
+				hitRate(st.CacheHits, st.CacheMisses), hitRate(int64(st.Solver.Stage1Warm+st.Solver.LaterWarm), int64(st.Solver.Stage1Cold+st.Solver.LaterCold)), true)
 		}
 	}
-	t.Note("Theorem 8 upper bound verified with exact rational comparisons")
+	t.Note("Theorem 8 upper bound verified with exact rational comparisons; cache hit = eval-cache, warm dink = warm-started Dinkelbach runs")
 	return t, nil
 }
 
@@ -56,17 +64,22 @@ func E6LowerBoundFamily(ks []int, heavy numeric.Rat, optGrid int) (*Table, error
 		heavy = numeric.FromInt(1000000)
 	}
 	t := NewTable("E6 / Theorem 8 tightness — lower-bound family ratio -> 2",
-		"k", "n", "heavy H", "measured ratio", "limit (2k+1)/(k+1)", "gap to 2")
+		"k", "n", "heavy H", "measured ratio", "limit (2k+1)/(k+1)", "gap to 2", "evals (cached)")
 	prev := numeric.Zero
 	for _, k := range ks {
 		g, v, err := core.LowerBoundFamily(k, heavy)
 		if err != nil {
 			return t, err
 		}
-		ratio, err := core.RingRatio(g, v, core.OptimizeOptions{Grid: optGrid})
+		in, err := core.NewInstance(g, v)
 		if err != nil {
 			return t, fmt.Errorf("E6 k=%d: %w", k, err)
 		}
+		opt, err := in.Optimize(core.OptimizeOptions{Grid: optGrid})
+		if err != nil {
+			return t, fmt.Errorf("E6 k=%d: %w", k, err)
+		}
+		ratio := opt.Ratio
 		limit := core.LowerBoundLimitRatio(k)
 		if numeric.Two.Less(ratio) {
 			return t, fmt.Errorf("E6 k=%d: ratio %v > 2", k, ratio)
@@ -75,11 +88,38 @@ func E6LowerBoundFamily(ks []int, heavy numeric.Rat, optGrid int) (*Table, error
 			return t, fmt.Errorf("E6 k=%d: family ratio not monotone (%v after %v)", k, ratio, prev)
 		}
 		prev = ratio
+		st := in.EvalStats()
 		t.Add(k, 2*k+5, heavy, fmtF(ratio.Float64()), limit.String(),
-			fmtF(2-ratio.Float64()))
+			fmtF(2-ratio.Float64()), fmt.Sprintf("%d (%d)", st.CacheMisses, st.CacheHits))
 	}
-	t.Note("ratio increases toward 2 along the family; limit formula (2k+1)/(k+1)")
+	t.Note("ratio increases toward 2 along the family; limit formula (2k+1)/(k+1); evals = distinct splits decomposed, (cached) = re-served from the eval cache")
 	return t, nil
+}
+
+// accumulateStats folds one instance's evaluation counters into a running
+// total for a table cell.
+func accumulateStats(dst *core.EvalStats, s core.EvalStats) {
+	dst.CacheHits += s.CacheHits
+	dst.CacheMisses += s.CacheMisses
+	dst.Solver.Evals += s.Solver.Evals
+	dst.Solver.Fallbacks += s.Solver.Fallbacks
+	dst.Solver.Stage1Warm += s.Solver.Stage1Warm
+	dst.Solver.Stage1Cold += s.Solver.Stage1Cold
+	dst.Solver.WarmRestarts += s.Solver.WarmRestarts
+	dst.Solver.TransferHits += s.Solver.TransferHits
+	dst.Solver.TransferMisses += s.Solver.TransferMisses
+	dst.Solver.TailHits += s.Solver.TailHits
+	dst.Solver.TailMisses += s.Solver.TailMisses
+	dst.Solver.LaterWarm += s.Solver.LaterWarm
+	dst.Solver.LaterCold += s.Solver.LaterCold
+}
+
+// hitRate renders hits/(hits+misses) as a percentage table cell.
+func hitRate(hits, misses int64) string {
+	if hits+misses == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(hits)/float64(hits+misses))
 }
 
 // E7Lemma9 verifies Lemma 9 exactly across random rings: the honest split

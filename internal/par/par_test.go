@@ -48,6 +48,56 @@ func TestForEachPanicsPropagate(t *testing.T) {
 	})
 }
 
+func TestForEachWorkersExceedN(t *testing.T) {
+	// More workers than items must still visit every index exactly once and
+	// not deadlock waiting on the surplus goroutines.
+	n := 5
+	seen := make([]atomic.Int32, n)
+	ForEach(n, 64, func(i int) {
+		seen[i].Add(1)
+	})
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}
+
+func TestMapWorkersExceedN(t *testing.T) {
+	got := Map(3, 100, func(i int) int { return i + 1 })
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("Map[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(0, 4, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("Map(0) returned %v", got)
+	}
+}
+
+func TestMapPanicMidSweep(t *testing.T) {
+	// A panic from one worker partway through the sweep must surface to the
+	// caller after the pool drains, not hang or get swallowed.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		if !strings.Contains(r.(string), "mid-sweep") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	Map(200, 8, func(i int) int {
+		if i == 123 {
+			panic("mid-sweep")
+		}
+		return i
+	})
+}
+
 func TestMapOrdering(t *testing.T) {
 	got := Map(50, 8, func(i int) int { return i * i })
 	for i, v := range got {

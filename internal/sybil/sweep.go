@@ -1,0 +1,93 @@
+package sybil
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/par"
+)
+
+// SweepOptions tunes RingSweep. Zero values select defaults.
+type SweepOptions struct {
+	// Grid is the number of uniform w1 intervals over [0, w_v] (default 64;
+	// the sweep evaluates Grid+1 points including both endpoints).
+	Grid int
+	// Workers bounds the parallel evaluation workers (≤ 0 = GOMAXPROCS).
+	Workers int
+	// Cold disables the instance's evaluation cache and incremental split
+	// engine, so every point costs a from-scratch decomposition — the
+	// pre-optimization baseline, kept for benchmarking. Results are
+	// identical either way.
+	Cold bool
+}
+
+// SweepPoint is one exactly evaluated split of the sweep.
+type SweepPoint struct {
+	W1 numeric.Rat
+	// U is the attacker's combined utility U_{v¹} + U_{v²} at this split.
+	U numeric.Rat
+}
+
+// SweepResult is the outcome of RingSweep.
+type SweepResult struct {
+	Points []SweepPoint
+	// BestW1/BestU is the best sampled split (a lower bound on the optimum;
+	// use core.Instance.Optimize for the certified piecewise search).
+	BestW1, BestU numeric.Rat
+	// Honest is U_v(G; w), and Ratio = BestU / Honest (1 when both zero).
+	Honest, Ratio numeric.Rat
+	// Stats exposes the evaluation-cache and incremental-solver counters
+	// accumulated by the sweep.
+	Stats core.EvalStats
+}
+
+// RingSweep evaluates the two-identity split utility curve of agent v on
+// ring g at Grid+1 evenly spaced w1 values, sharing one core.Instance so
+// the incremental split engine — cached interior transfers, warm-started
+// Dinkelbach, memoized residual tails — is reused across the whole sweep
+// instead of paying a fresh decomposition per point.
+func RingSweep(g *graph.Graph, v int, opts SweepOptions) (*SweepResult, error) {
+	if opts.Grid <= 0 {
+		opts.Grid = 64
+	}
+	in, err := core.NewInstance(g, v)
+	if err != nil {
+		return nil, err
+	}
+	in.SetEvalCache(!opts.Cold)
+	in.SetIncremental(!opts.Cold)
+	W := in.W()
+	pts := make([]SweepPoint, opts.Grid+1)
+	errs := par.Map(len(pts), opts.Workers, func(i int) error {
+		w1 := W.MulInt(int64(i)).DivInt(int64(opts.Grid))
+		ev, err := in.EvalSplit(w1)
+		if err != nil {
+			return err
+		}
+		pts[i] = SweepPoint{W1: w1, U: ev.U}
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sybil: sweep point %d: %w", i, err)
+		}
+	}
+	res := &SweepResult{Points: pts, Honest: in.HonestU, BestW1: pts[0].W1, BestU: pts[0].U}
+	for _, p := range pts[1:] {
+		if res.BestU.Less(p.U) {
+			res.BestW1, res.BestU = p.W1, p.U
+		}
+	}
+	switch {
+	case res.Honest.Sign() > 0:
+		res.Ratio = res.BestU.Div(res.Honest)
+	case res.BestU.Sign() > 0:
+		return nil, fmt.Errorf("sybil: positive attack utility %v from zero honest utility", res.BestU)
+	default:
+		res.Ratio = numeric.One
+	}
+	res.Stats = in.EvalStats()
+	return res, nil
+}

@@ -9,3 +9,9 @@ set -eux
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Fuzz smoke: run each native fuzz target briefly against its seed corpus
+# plus fresh mutations. Parser/codec regressions (panics, unbounded
+# allocation) surface here long before a full fuzzing campaign.
+go test ./internal/graph -run '^$' -fuzz '^FuzzParseGraph$' -fuzztime 10s
+go test ./internal/server -run '^$' -fuzz '^FuzzRatDecode$' -fuzztime 10s

@@ -1,0 +1,113 @@
+// Command irshared serves the resource-sharing solvers over HTTP/JSON.
+//
+// Endpoints (see internal/server):
+//
+//	POST /v1/decompose  bottleneck decomposition of a graph
+//	POST /v1/allocate   BD allocation (directed transfers + utilities)
+//	POST /v1/utilities  equilibrium utilities only
+//	POST /v1/ratio      incentive ratio of one ring agent (batched)
+//	POST /v1/sweep      split-utility curve of one ring agent
+//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text metrics
+//
+// The process drains gracefully on SIGINT/SIGTERM: the listener closes,
+// in-flight requests run to completion (bounded by -timeout), then the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "irshared:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("irshared", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		cacheSize    = fs.Int("cache-size", 128, "instance LRU capacity (0 disables caching)")
+		pool         = fs.Int("pool", 0, "worker pool size (0 = GOMAXPROCS)")
+		timeout      = fs.Duration("timeout", 30*time.Second, "per-request computation timeout")
+		queueTimeout = fs.Duration("queue-timeout", 5*time.Second, "max wait for a worker slot")
+		batchWindow  = fs.Duration("batch-window", 0, "ratio batch collection window (0 = join-in-flight only)")
+		drain        = fs.Duration("drain", 30*time.Second, "max graceful shutdown wait")
+		logFormat    = fs.String("log", "text", "log format: text|json")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("unknown -log format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
+
+	// The flag uses 0 = disabled (natural for operators); Config uses
+	// 0 = default and negative = disabled.
+	cfgCache := *cacheSize
+	if cfgCache == 0 {
+		cfgCache = -1
+	}
+	srv := server.New(server.Config{
+		CacheSize:      cfgCache,
+		PoolSize:       *pool,
+		RequestTimeout: *timeout,
+		QueueTimeout:   *queueTimeout,
+		BatchWindow:    *batchWindow,
+		Logger:         logger,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("draining", "max_wait", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("drained")
+	return nil
+}

@@ -1,6 +1,7 @@
 package bottleneck
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -62,10 +63,18 @@ func Decompose(g *graph.Graph) (*Decomposition, error) {
 // minimizer" could absorb an adjacent zero-zero pair and violate B's
 // independence.)
 func DecomposeWith(g *graph.Graph, engine Engine) (*Decomposition, error) {
-	return decomposeInner(g, engine, nil)
+	return decomposeInner(context.Background(), g, engine, nil)
 }
 
-func decomposeInner(g *graph.Graph, engine Engine, trace TraceFunc) (*Decomposition, error) {
+// DecomposeCtx is DecomposeWith with cancellation: the context is checked at
+// every stage boundary and every Dinkelbach iteration, so a canceled or
+// timed-out decomposition returns ctx.Err() promptly instead of completing.
+// No partial result is ever returned.
+func DecomposeCtx(ctx context.Context, g *graph.Graph, engine Engine) (*Decomposition, error) {
+	return decomposeInner(ctx, g, engine, nil)
+}
+
+func decomposeInner(ctx context.Context, g *graph.Graph, engine Engine, trace TraceFunc) (*Decomposition, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("bottleneck: empty graph")
 	}
@@ -85,6 +94,9 @@ func decomposeInner(g *graph.Graph, engine Engine, trace TraceFunc) (*Decomposit
 			remaining[i] = i
 		}
 		for len(remaining) > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			stage := len(d.Pairs) + 1
 			if trace != nil {
 				trace(TraceEvent{Kind: TraceStageStart, Stage: stage, Remaining: len(remaining)})
@@ -100,7 +112,7 @@ func decomposeInner(g *graph.Graph, engine Engine, trace TraceFunc) (*Decomposit
 					trace(TraceEvent{Kind: TraceDinkelbachIter, Stage: stage, Remaining: len(remaining), Lambda: lambda, Value: value})
 				}
 			}
-			alpha, bLocal, err := maxBottleneck(sub, oracle, iterTrace)
+			alpha, bLocal, err := maxBottleneck(ctx, sub, oracle, iterTrace)
 			if err != nil {
 				return nil, err
 			}
@@ -244,7 +256,7 @@ func MaxBottleneck(g *graph.Graph, engine Engine) (B []int, alpha numeric.Rat, e
 	if err != nil {
 		return nil, numeric.Rat{}, err
 	}
-	alpha, B, err = maxBottleneck(g, oracle, nil)
+	alpha, B, err = maxBottleneck(context.Background(), g, oracle, nil)
 	return B, alpha, err
 }
 

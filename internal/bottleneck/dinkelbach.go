@@ -1,6 +1,7 @@
 package bottleneck
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -38,7 +39,7 @@ var errWarmTooLow = errors.New("bottleneck: warm start below λ*")
 // terminates at λ* = min_S α(S) with the maximal bottleneck in hand.
 //
 // The graph must have positive total weight.
-func maxBottleneck(g *graph.Graph, o minimizeOracle, iterTrace func(lambda, value numeric.Rat)) (numeric.Rat, []int, error) {
+func maxBottleneck(ctx context.Context, g *graph.Graph, o minimizeOracle, iterTrace func(lambda, value numeric.Rat)) (numeric.Rat, []int, error) {
 	wV := g.TotalWeight()
 	if wV.Sign() <= 0 {
 		return numeric.Rat{}, nil, fmt.Errorf("bottleneck: graph has zero total weight")
@@ -48,7 +49,7 @@ func maxBottleneck(g *graph.Graph, o minimizeOracle, iterTrace func(lambda, valu
 		all[i] = i
 	}
 	lambda := g.WeightOf(g.NeighborhoodSet(all)).Div(wV) // α(V) ≤ 1
-	return maxBottleneckFrom(g, o, lambda, false, iterTrace)
+	return maxBottleneckFrom(ctx, g, o, lambda, false, iterTrace)
 }
 
 // maxBottleneckWarm runs maxBottleneck but first tries the supplied warm
@@ -58,9 +59,9 @@ func maxBottleneck(g *graph.Graph, o minimizeOracle, iterTrace func(lambda, valu
 // never the answer. A λ0 that undershoots λ* is detected (the subproblem
 // minimum is 0 yet no positive-weight set attains it) and the search
 // restarts from the cold λ = α(V).
-func maxBottleneckWarm(g *graph.Graph, o minimizeOracle, warm numeric.Rat) (numeric.Rat, []int, bool, error) {
+func maxBottleneckWarm(ctx context.Context, g *graph.Graph, o minimizeOracle, warm numeric.Rat) (numeric.Rat, []int, bool, error) {
 	if warm.Sign() > 0 && warm.Cmp(numeric.One) <= 0 {
-		alpha, S, err := maxBottleneckFrom(g, o, warm, true, nil)
+		alpha, S, err := maxBottleneckFrom(ctx, g, o, warm, true, nil)
 		if err == nil {
 			return alpha, S, true, nil
 		}
@@ -68,7 +69,7 @@ func maxBottleneckWarm(g *graph.Graph, o minimizeOracle, warm numeric.Rat) (nume
 			return numeric.Rat{}, nil, false, err
 		}
 	}
-	alpha, S, err := maxBottleneck(g, o, nil)
+	alpha, S, err := maxBottleneck(ctx, g, o, nil)
 	return alpha, S, false, err
 }
 
@@ -76,9 +77,9 @@ func maxBottleneckWarm(g *graph.Graph, o minimizeOracle, warm numeric.Rat) (nume
 // materialized graph: the vertex count, the weight function and the cold
 // starting iterate α(V) are supplied directly. The loop is byte-identical
 // to the graph-backed path.
-func maxBottleneckWarmAt(n int, weightOf func([]int) numeric.Rat, alphaV numeric.Rat, o minimizeOracle, warm numeric.Rat) (numeric.Rat, []int, bool, error) {
+func maxBottleneckWarmAt(ctx context.Context, n int, weightOf func([]int) numeric.Rat, alphaV numeric.Rat, o minimizeOracle, warm numeric.Rat) (numeric.Rat, []int, bool, error) {
 	if warm.Sign() > 0 && warm.Cmp(numeric.One) <= 0 {
-		alpha, S, err := dinkelbachLoop(n, weightOf, o, warm, true, nil)
+		alpha, S, err := dinkelbachLoop(ctx, n, weightOf, o, warm, true, nil)
 		if err == nil {
 			return alpha, S, true, nil
 		}
@@ -86,22 +87,27 @@ func maxBottleneckWarmAt(n int, weightOf func([]int) numeric.Rat, alphaV numeric
 			return numeric.Rat{}, nil, false, err
 		}
 	}
-	alpha, S, err := dinkelbachLoop(n, weightOf, o, alphaV, false, nil)
+	alpha, S, err := dinkelbachLoop(ctx, n, weightOf, o, alphaV, false, nil)
 	return alpha, S, false, err
 }
 
 // maxBottleneckFrom is the Dinkelbach loop body with an explicit starting
 // λ. With warm set, an undershooting start is reported as errWarmTooLow
 // instead of a hard failure.
-func maxBottleneckFrom(g *graph.Graph, o minimizeOracle, lambda numeric.Rat, warm bool, iterTrace func(lambda, value numeric.Rat)) (numeric.Rat, []int, error) {
-	return dinkelbachLoop(g.N(), g.WeightOf, o, lambda, warm, iterTrace)
+func maxBottleneckFrom(ctx context.Context, g *graph.Graph, o minimizeOracle, lambda numeric.Rat, warm bool, iterTrace func(lambda, value numeric.Rat)) (numeric.Rat, []int, error) {
+	return dinkelbachLoop(ctx, g.N(), g.WeightOf, o, lambda, warm, iterTrace)
 }
 
 // dinkelbachLoop is the graph-agnostic Dinkelbach iteration: only the vertex
 // count (for the safety bound) and a weight function (for the degeneracy
-// check at λ*) are needed beyond the oracle.
-func dinkelbachLoop(n int, weightOf func([]int) numeric.Rat, o minimizeOracle, lambda numeric.Rat, warm bool, iterTrace func(lambda, value numeric.Rat)) (numeric.Rat, []int, error) {
+// check at λ*) are needed beyond the oracle. The context is checked before
+// every subproblem solve, so cancellation lands between iterations — never
+// inside one — and the caller observes ctx.Err() with no partial state.
+func dinkelbachLoop(ctx context.Context, n int, weightOf func([]int) numeric.Rat, o minimizeOracle, lambda numeric.Rat, warm bool, iterTrace func(lambda, value numeric.Rat)) (numeric.Rat, []int, error) {
 	for iter := 0; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return numeric.Rat{}, nil, err
+		}
 		if iter > n*n+64 {
 			// Dinkelbach over exact rationals converges in far fewer steps;
 			// exceeding this bound means a solver bug, not a hard instance.

@@ -1,6 +1,7 @@
 package bottleneck
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -132,6 +133,16 @@ func (s *SplitSolver) Stats() SplitSolverStats {
 // Rat-identical to DecomposeWith(p, EnginePathDP) in every α, pair set and
 // derived utility; only the amount of work differs.
 func (s *SplitSolver) Eval(p *graph.Graph, w1, w2 numeric.Rat) (*Decomposition, error) {
+	return s.EvalCtx(context.Background(), p, w1, w2)
+}
+
+// EvalCtx is Eval with cancellation, checked at stage boundaries and inside
+// every Dinkelbach run. Cancellation is safe for the shared solver: every
+// cached object (interior transfer, residual tail, warm hint) is inserted
+// only after it is fully built, so an abandoned evaluation leaves the caches
+// exactly as a never-started one would, and concurrent evaluations are
+// unaffected.
+func (s *SplitSolver) EvalCtx(ctx context.Context, p *graph.Graph, w1, w2 numeric.Rat) (*Decomposition, error) {
 	s.mu.Lock()
 	s.stats.Evals++
 	s.mu.Unlock()
@@ -142,16 +153,19 @@ func (s *SplitSolver) Eval(p *graph.Graph, w1, w2 numeric.Rat) (*Decomposition, 
 		s.mu.Lock()
 		s.stats.Fallbacks++
 		s.mu.Unlock()
-		return DecomposeWith(p, EnginePathDP)
+		return DecomposeCtx(ctx, p, EnginePathDP)
 	}
 
 	residual := iota0(s.n)
 	var pairs []Pair
 	for len(residual) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		hasLeft := residual[0] == 0
 		hasRight := residual[len(residual)-1] == s.n-1
 		if !hasLeft && !hasRight {
-			tail, err := s.tailFor(p, residual)
+			tail, err := s.tailFor(ctx, p, residual)
 			if err != nil {
 				return nil, err
 			}
@@ -164,13 +178,13 @@ func (s *SplitSolver) Eval(p *graph.Graph, w1, w2 numeric.Rat) (*Decomposition, 
 			err   error
 		)
 		if len(residual) == s.n {
-			alpha, B, err = s.stage1(w1, w2)
+			alpha, B, err = s.stage1(ctx, w1, w2)
 			if err != nil {
 				return nil, err
 			}
 			C = p.NeighborhoodSet(B)
 		} else {
-			alpha, B, C, err = s.laterStage(residual, w1, w2, hasLeft, hasRight)
+			alpha, B, C, err = s.laterStage(ctx, residual, w1, w2, hasLeft, hasRight)
 			if err != nil {
 				return nil, err
 			}
@@ -208,9 +222,9 @@ func (s *SplitSolver) Eval(p *graph.Graph, w1, w2 numeric.Rat) (*Decomposition, 
 
 // stage1 finds the maximal bottleneck of the full path with warm-started
 // Dinkelbach over the cached interior transfers.
-func (s *SplitSolver) stage1(w1, w2 numeric.Rat) (numeric.Rat, []int, error) {
+func (s *SplitSolver) stage1(ctx context.Context, w1, w2 numeric.Rat) (numeric.Rat, []int, error) {
 	if warm, ok := s.nearestHint(fullPathKey, w1.Float64()); ok && warm.Sign() > 0 && warm.Less(numeric.One) {
-		alpha, B, err := s.dinkelbachFull(warm, w1, w2, true)
+		alpha, B, err := s.dinkelbachFull(ctx, warm, w1, w2, true)
 		if err == nil {
 			s.recordRun(fullPathKey, w1.Float64(), alpha, &s.stats.Stage1Warm)
 			return alpha, B, nil
@@ -224,7 +238,7 @@ func (s *SplitSolver) stage1(w1, w2 numeric.Rat) (numeric.Rat, []int, error) {
 	}
 	// Cold start: α(V) = 1 on a path with ≥ 2 vertices and positive
 	// weights (Γ(V) = V), matching maxBottleneck's initial iterate.
-	alpha, B, err := s.dinkelbachFull(numeric.One, w1, w2, false)
+	alpha, B, err := s.dinkelbachFull(ctx, numeric.One, w1, w2, false)
 	if err != nil {
 		return numeric.Rat{}, nil, err
 	}
@@ -234,8 +248,11 @@ func (s *SplitSolver) stage1(w1, w2 numeric.Rat) (numeric.Rat, []int, error) {
 
 // dinkelbachFull is the Dinkelbach loop over the full path, with values
 // from cached interior transfers and membership extracted only at λ*.
-func (s *SplitSolver) dinkelbachFull(lambda, w1, w2 numeric.Rat, warm bool) (numeric.Rat, []int, error) {
+func (s *SplitSolver) dinkelbachFull(ctx context.Context, lambda, w1, w2 numeric.Rat, warm bool) (numeric.Rat, []int, error) {
 	for iter := 0; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return numeric.Rat{}, nil, err
+		}
 		if iter > s.n*s.n+64 {
 			return numeric.Rat{}, nil, fmt.Errorf("bottleneck: incremental Dinkelbach did not converge after %d iterations", iter)
 		}
@@ -273,7 +290,7 @@ func (s *SplitSolver) dinkelbachFull(lambda, w1, w2 numeric.Rat, warm bool) (num
 // subpaths — the maximal runs of consecutive positions — so the DP
 // components are sliced straight out of the fixed interior instead of
 // materializing an induced subgraph per stage.
-func (s *SplitSolver) laterStage(residual []int, w1, w2 numeric.Rat, hasLeft, hasRight bool) (numeric.Rat, []int, []int, error) {
+func (s *SplitSolver) laterStage(ctx context.Context, residual []int, w1, w2 numeric.Rat, hasLeft, hasRight bool) (numeric.Rat, []int, []int, error) {
 	wAt := func(v int) numeric.Rat {
 		switch v {
 		case 0:
@@ -327,7 +344,7 @@ func (s *SplitSolver) laterStage(residual []int, w1, w2 numeric.Rat, hasLeft, ha
 	}
 	warm, _ := s.nearestHint(key, locator)
 	oracle := &dpOracle{comps: comps}
-	alpha, B, usedWarm, err := maxBottleneckWarmAt(len(residual), weightOf, gamma.Div(total), oracle, warm)
+	alpha, B, usedWarm, err := maxBottleneckWarmAt(ctx, len(residual), weightOf, gamma.Div(total), oracle, warm)
 	if err != nil {
 		return numeric.Rat{}, nil, nil, err
 	}
@@ -359,7 +376,7 @@ func (s *SplitSolver) laterStage(residual []int, w1, w2 numeric.Rat, hasLeft, ha
 // computing it once per residual set with the stock engine. The stage
 // recursion depends only on the residual graph, whose weights are all
 // fixed interior weights here, so the memoized tail is exact.
-func (s *SplitSolver) tailFor(p *graph.Graph, residual []int) ([]Pair, error) {
+func (s *SplitSolver) tailFor(ctx context.Context, p *graph.Graph, residual []int) ([]Pair, error) {
 	key := intsKey(residual)
 	s.mu.Lock()
 	cached, ok := s.tails[key]
@@ -369,7 +386,7 @@ func (s *SplitSolver) tailFor(p *graph.Graph, residual []int) ([]Pair, error) {
 	s.mu.Unlock()
 	if !ok {
 		sub, orig := p.InducedSubgraph(residual)
-		dec, err := DecomposeWith(sub, EnginePathDP)
+		dec, err := DecomposeCtx(ctx, sub, EnginePathDP)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package bottleneck
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -68,5 +69,5 @@ func (e TraceEvent) String() string {
 // iteration and extracted pair is reported through trace. The zero-weight
 // convention pass is silent (it performs no parametric work).
 func DecomposeTraced(g *graph.Graph, engine Engine, trace TraceFunc) (*Decomposition, error) {
-	return decomposeInner(g, engine, trace)
+	return decomposeInner(context.Background(), g, engine, trace)
 }

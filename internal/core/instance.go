@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -195,6 +196,14 @@ type PathEval struct {
 // seed) return the same *PathEval without re-decomposing. PathEval is
 // immutable after construction, which makes the sharing sound.
 func (in *Instance) EvalPair(w1, w2 numeric.Rat) (*PathEval, error) {
+	return in.EvalPairCtx(context.Background(), w1, w2)
+}
+
+// EvalPairCtx is EvalPair with cancellation threaded into the underlying
+// decomposition (both the incremental solver and the stock engine). A
+// canceled evaluation returns ctx.Err() and writes nothing to the cache, so
+// shared Instance state is never corrupted by an abandoned request.
+func (in *Instance) EvalPairCtx(ctx context.Context, w1, w2 numeric.Rat) (*PathEval, error) {
 	if w1.Sign() < 0 || w2.Sign() < 0 {
 		return nil, fmt.Errorf("core: negative identity weight (%v, %v)", w1, w2)
 	}
@@ -210,7 +219,7 @@ func (in *Instance) EvalPair(w1, w2 numeric.Rat) (*PathEval, error) {
 			return ev, nil
 		}
 	}
-	ev, err := in.evalPairFresh(w1, w2)
+	ev, err := in.evalPairFresh(ctx, w1, w2)
 	if err != nil {
 		return nil, err
 	}
@@ -228,7 +237,7 @@ func (in *Instance) EvalPair(w1, w2 numeric.Rat) (*PathEval, error) {
 }
 
 // evalPairFresh builds and decomposes the path for one configuration.
-func (in *Instance) evalPairFresh(w1, w2 numeric.Rat) (*PathEval, error) {
+func (in *Instance) evalPairFresh(ctx context.Context, w1, w2 numeric.Rat) (*PathEval, error) {
 	n := len(in.interior) + 2
 	wsp := in.wsPool.Get().(*[]numeric.Rat)
 	ws := *wsp
@@ -244,9 +253,9 @@ func (in *Instance) evalPairFresh(w1, w2 numeric.Rat) (*PathEval, error) {
 		err error
 	)
 	if in.incrementalOff.Load() {
-		dec, err = bottleneck.DecomposeWith(p, bottleneck.EnginePathDP)
+		dec, err = bottleneck.DecomposeCtx(ctx, p, bottleneck.EnginePathDP)
 	} else {
-		dec, err = in.solver.Eval(p, w1, w2)
+		dec, err = in.solver.EvalCtx(ctx, p, w1, w2)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: decomposing P_v(%v, %v): %w", w1, w2, err)
@@ -266,10 +275,15 @@ func (in *Instance) evalPairFresh(w1, w2 numeric.Rat) (*PathEval, error) {
 
 // EvalSplit evaluates the legal Sybil split (w1, w_v − w1).
 func (in *Instance) EvalSplit(w1 numeric.Rat) (*PathEval, error) {
+	return in.EvalSplitCtx(context.Background(), w1)
+}
+
+// EvalSplitCtx is EvalSplit with cancellation (see EvalPairCtx).
+func (in *Instance) EvalSplitCtx(ctx context.Context, w1 numeric.Rat) (*PathEval, error) {
 	if w1.Sign() < 0 || in.W().Less(w1) {
 		return nil, fmt.Errorf("core: split weight %v outside [0, %v]", w1, in.W())
 	}
-	return in.EvalPair(w1, in.W().Sub(w1))
+	return in.EvalPairCtx(ctx, w1, in.W().Sub(w1))
 }
 
 // HonestSplitEval evaluates P_v(w1⁰, w2⁰); by Lemma 9 its total utility

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -99,13 +100,21 @@ type OptResult struct {
 // the optimizer's resolution. Theorem 8 caps it at 2, which callers can
 // check with exact arithmetic.
 func (in *Instance) Optimize(opts OptimizeOptions) (*OptResult, error) {
+	return in.OptimizeCtx(context.Background(), opts)
+}
+
+// OptimizeCtx is Optimize with cancellation: the context is consulted by
+// every exact evaluation (grid points, bisection probes, piece samples), so
+// a canceled optimization aborts between decompositions with ctx.Err() and
+// leaves the Instance's shared caches consistent.
+func (in *Instance) OptimizeCtx(ctx context.Context, opts OptimizeOptions) (*OptResult, error) {
 	opts = opts.withDefaults()
 	in.SetEvalCache(!opts.DisableEvalCache)
 	in.SetIncremental(!opts.DisableIncremental)
 	W := in.W()
 	res := &OptResult{}
 	if W.IsZero() {
-		ev, err := in.EvalSplit(numeric.Zero)
+		ev, err := in.EvalSplitCtx(ctx, numeric.Zero)
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +131,7 @@ func (in *Instance) Optimize(opts OptimizeOptions) (*OptResult, error) {
 	grid := make([]sample, opts.Grid+1)
 	errs := par.Map(len(grid), opts.Workers, func(i int) error {
 		w1 := W.MulInt(int64(i)).DivInt(int64(opts.Grid))
-		ev, err := in.EvalSplit(w1)
+		ev, err := in.EvalSplitCtx(ctx, w1)
 		if err != nil {
 			return err
 		}
@@ -154,7 +163,7 @@ func (in *Instance) Optimize(opts OptimizeOptions) (*OptResult, error) {
 		sigHi := grid[i+1].ev.Signature
 		for it := 0; it < opts.BisectIters; it++ {
 			mid := lo.Add(hi).DivInt(2)
-			ev, err := in.EvalSplit(mid)
+			ev, err := in.EvalSplitCtx(ctx, mid)
 			if err != nil {
 				return nil, err
 			}
@@ -167,7 +176,7 @@ func (in *Instance) Optimize(opts OptimizeOptions) (*OptResult, error) {
 		}
 		if lo.Less(hi) {
 			cand := numeric.SimplestBetween(lo, hi)
-			ev, err := in.EvalSplit(cand)
+			ev, err := in.EvalSplitCtx(ctx, cand)
 			if err != nil {
 				return nil, err
 			}
@@ -196,7 +205,7 @@ func (in *Instance) Optimize(opts OptimizeOptions) (*OptResult, error) {
 	// "arbitrary" optimal pick is the trivial one. An arbitrary equal-value
 	// w1* would send AnalyzeStages on a walk between two optima, where the
 	// per-stage sign lemmas legitimately fail.
-	evHonest, err := in.EvalSplit(in.W1Zero)
+	evHonest, err := in.EvalSplitCtx(ctx, in.W1Zero)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +217,7 @@ func (in *Instance) Optimize(opts OptimizeOptions) (*OptResult, error) {
 		}
 	}
 	for i := 0; i+1 < len(edges); i += 2 {
-		piece, bestEv, evals, err := in.optimizePiece(edges[i], edges[i+1], W, opts)
+		piece, bestEv, evals, err := in.optimizePiece(ctx, edges[i], edges[i+1], W, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +228,7 @@ func (in *Instance) Optimize(opts OptimizeOptions) (*OptResult, error) {
 	// The breakpoints themselves are legal splits too.
 	for _, c := range cuts {
 		for _, w1 := range []numeric.Rat{c.lo, c.hi} {
-			ev, err := in.EvalSplit(w1)
+			ev, err := in.EvalSplitCtx(ctx, w1)
 			if err != nil {
 				return nil, err
 			}
@@ -240,10 +249,10 @@ func (in *Instance) Optimize(opts OptimizeOptions) (*OptResult, error) {
 }
 
 // optimizePiece finds the best split inside [lo, hi] (one structure piece).
-func (in *Instance) optimizePiece(lo, hi, W numeric.Rat, opts OptimizeOptions) (*Piece, *PathEval, int, error) {
+func (in *Instance) optimizePiece(ctx context.Context, lo, hi, W numeric.Rat, opts OptimizeOptions) (*Piece, *PathEval, int, error) {
 	evals := 0
 	mid := lo.Add(hi).DivInt(2)
-	evMid, err := in.EvalSplit(mid)
+	evMid, err := in.EvalSplitCtx(ctx, mid)
 	if err != nil {
 		return nil, nil, evals, err
 	}
@@ -263,7 +272,7 @@ func (in *Instance) optimizePiece(lo, hi, W numeric.Rat, opts OptimizeOptions) (
 		if w1.Less(lo) || hi.Less(w1) {
 			return nil
 		}
-		ev, err := in.EvalSplit(w1)
+		ev, err := in.EvalSplitCtx(ctx, w1)
 		if err != nil {
 			return err
 		}
@@ -286,7 +295,7 @@ func (in *Instance) optimizePiece(lo, hi, W numeric.Rat, opts OptimizeOptions) (
 	p.FormulaOK = true
 	for k := 1; k <= opts.SampleK; k++ {
 		w1 := lo.Add(span.MulInt(int64(k)).DivInt(int64(opts.SampleK + 1)))
-		ev, err := in.EvalSplit(w1)
+		ev, err := in.EvalSplitCtx(ctx, w1)
 		if err != nil {
 			return nil, nil, evals, err
 		}

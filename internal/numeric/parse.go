@@ -7,18 +7,74 @@ import (
 	"strings"
 )
 
+// maxParseExponent bounds the decimal/binary exponent accepted by Parse.
+// big.Rat.SetString expands exponents eagerly ("1e999999999" materializes a
+// billion-digit integer), so an unbounded exponent turns a 12-byte input
+// into gigabytes of allocation — found by FuzzRatDecode. No weight or ratio
+// in this repository comes anywhere near 10^512.
+const maxParseExponent = 512
+
 // Parse reads a rational from a string. Accepted forms are an integer
-// ("42", "-7"), a fraction ("3/4", "-22/7"), and a decimal ("0.25", "-1.5").
+// ("42", "-7"), a fraction ("3/4", "-22/7"), and a decimal ("0.25",
+// "-1.5", "2e3"); exponents are limited to ±512.
 func Parse(s string) (Rat, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return Rat{}, fmt.Errorf("numeric: empty string")
+	}
+	if err := checkExponent(s); err != nil {
+		return Rat{}, err
 	}
 	br, ok := new(big.Rat).SetString(s)
 	if !ok {
 		return Rat{}, fmt.Errorf("numeric: cannot parse %q as a rational", s)
 	}
 	return demote(br), nil
+}
+
+// checkExponent rejects inputs whose exponent part would make SetString
+// allocate disproportionately to the input size. Malformed exponents pass
+// through: SetString rejects them with its usual error.
+func checkExponent(s string) error {
+	// 'e'/'E' marks a decimal exponent except inside a hex mantissa (where
+	// it is a digit and the exponent marker is 'p'/'P' instead).
+	hex := strings.Contains(s, "0x") || strings.Contains(s, "0X")
+	cut := -1
+	for i := len(s) - 1; i >= 0; i-- {
+		c := s[i]
+		if c == 'p' || c == 'P' || (!hex && (c == 'e' || c == 'E')) {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
+		return nil
+	}
+	exp := s[cut+1:]
+	if len(exp) > 0 && (exp[0] == '+' || exp[0] == '-') {
+		exp = exp[1:]
+	}
+	if len(exp) == 0 {
+		return nil // malformed; SetString reports it
+	}
+	for _, c := range exp {
+		if c < '0' || c > '9' {
+			return nil // malformed; SetString reports it
+		}
+	}
+	// len("512") digits always fit; longer digit strings may still be small
+	// numbers ("0000512") so parse the value, capping the length first.
+	if len(exp) > 9 {
+		return fmt.Errorf("numeric: exponent in %q exceeds ±%d", s, maxParseExponent)
+	}
+	v := 0
+	for _, c := range exp {
+		v = v*10 + int(c-'0')
+	}
+	if v > maxParseExponent {
+		return fmt.Errorf("numeric: exponent in %q exceeds ±%d", s, maxParseExponent)
+	}
+	return nil
 }
 
 // MustParse is Parse that panics on error; intended for constants in tests

@@ -1,0 +1,64 @@
+package par
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Limiter is a context-aware bounded semaphore: the admission-control
+// counterpart of ForEach's fork-join pools. Long-running callers (the
+// irshared request handlers) acquire a slot before starting a decomposition
+// and release it when done, so at most Cap heavy computations run at once
+// while the callers' contexts keep queueing bounded in time.
+//
+// The zero value is not usable; construct with NewLimiter.
+type Limiter struct {
+	slots   chan struct{}
+	waiting atomic.Int64
+}
+
+// NewLimiter returns a Limiter admitting up to size concurrent holders
+// (size ≤ 0 means GOMAXPROCS, as in Workers).
+func NewLimiter(size int) *Limiter {
+	return &Limiter{slots: make(chan struct{}, Workers(size))}
+}
+
+// Acquire blocks until a slot is free or ctx is done, returning ctx.Err()
+// in the latter case. A free slot is taken without consulting the context's
+// done channel, so acquiring from an already-canceled context still
+// succeeds when capacity is available — callers that care check ctx first.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	l.waiting.Add(1)
+	defer l.waiting.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot taken by a successful Acquire. Releasing without a
+// matching Acquire panics (the channel receive would block forever
+// otherwise, so the misuse is made loud instead).
+func (l *Limiter) Release() {
+	select {
+	case <-l.slots:
+	default:
+		panic("par: Limiter.Release without Acquire")
+	}
+}
+
+// Cap returns the slot capacity.
+func (l *Limiter) Cap() int { return cap(l.slots) }
+
+// InUse returns the number of currently held slots.
+func (l *Limiter) InUse() int { return len(l.slots) }
+
+// Waiting returns the number of goroutines blocked in Acquire.
+func (l *Limiter) Waiting() int { return int(l.waiting.Load()) }

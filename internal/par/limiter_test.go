@@ -1,0 +1,82 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLimiterBoundsConcurrency(t *testing.T) {
+	const cap = 3
+	l := NewLimiter(cap)
+	if l.Cap() != cap {
+		t.Fatalf("Cap() = %d, want %d", l.Cap(), cap)
+	}
+	var (
+		mu      sync.Mutex
+		cur, mx int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			cur++
+			if cur > mx {
+				mx = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			l.Release()
+		}()
+	}
+	wg.Wait()
+	if mx > cap {
+		t.Fatalf("observed %d concurrent holders, cap %d", mx, cap)
+	}
+	if l.InUse() != 0 || l.Waiting() != 0 {
+		t.Fatalf("limiter not drained: in_use=%d waiting=%d", l.InUse(), l.Waiting())
+	}
+}
+
+func TestLimiterAcquireHonorsContext(t *testing.T) {
+	l := NewLimiter(1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := l.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Acquire on full limiter = %v, want DeadlineExceeded", err)
+	}
+	l.Release()
+	// The slot is free again; a fresh acquire must succeed immediately.
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	l.Release()
+}
+
+func TestLimiterReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire did not panic")
+		}
+	}()
+	NewLimiter(2).Release()
+}
+
+func TestLimiterDefaultSize(t *testing.T) {
+	if c := NewLimiter(0).Cap(); c < 1 {
+		t.Fatalf("default capacity %d", c)
+	}
+}

@@ -1,0 +1,54 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzRatDecode throws arbitrary strings at the wire-format rational
+// decoder. Accepted values must encode back to a canonical fixed point
+// (decode∘encode = identity on the encoded form) and survive a JSON round
+// trip. This target surfaced the big.Rat exponent expansion ("1e999999999"
+// materializing a billion-digit integer), now rejected by numeric.Parse.
+func FuzzRatDecode(f *testing.F) {
+	f.Add("0")
+	f.Add("1")
+	f.Add("-7")
+	f.Add("22/7")
+	f.Add("-3/9")
+	f.Add("0.125")
+	f.Add("1e3")
+	f.Add("1e999999999")
+	f.Add("1/0")
+	f.Add("9223372036854775807")
+	f.Add("170141183460469231731687303715884105727/3")
+	f.Add(" 1")
+	f.Add("+2/4")
+	f.Fuzz(func(t *testing.T, input string) {
+		r, err := DecodeRat(input)
+		if err != nil {
+			return
+		}
+		enc := EncodeRat(r)
+		r2, err := DecodeRat(enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding %q: %v", enc, err)
+		}
+		if !r.Equal(r2) {
+			t.Fatalf("decode(encode(%q)) = %v, want %v", input, r2, r)
+		}
+		if EncodeRat(r2) != enc {
+			t.Fatalf("encoding not a fixed point: %q -> %q", enc, EncodeRat(r2))
+		}
+		// The wire format carries rationals as JSON strings; a full JSON
+		// round trip must preserve the canonical form.
+		blob, err := json.Marshal(enc)
+		if err != nil {
+			t.Fatalf("marshal %q: %v", enc, err)
+		}
+		var back string
+		if err := json.Unmarshal(blob, &back); err != nil || back != enc {
+			t.Fatalf("JSON round trip %q -> %q (err %v)", enc, back, err)
+		}
+	})
+}

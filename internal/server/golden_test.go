@@ -1,0 +1,72 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden wire-format files")
+
+// TestGoldenWireFormat pins the JSON wire format of every endpoint on the
+// paper's Fig. 1-style fixed instances. Any change to field names, ordering,
+// rational rendering ("p/q" strings) or status handling shows up as a diff
+// against the checked-in files — the wire format is part of the contract.
+func TestGoldenWireFormat(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	ring := WireGraph{Ring: []string{"1", "2", "3", "4", "5"}}
+	cases := []struct {
+		name string
+		path string
+		body any
+	}{
+		{"decompose_ring", "/v1/decompose", DecomposeRequest{Graph: ring}},
+		{"decompose_brute", "/v1/decompose", DecomposeRequest{Graph: ring, Engine: "brute"}},
+		{"decompose_general", "/v1/decompose", DecomposeRequest{Graph: WireGraph{
+			N:       4,
+			Weights: []string{"1/2", "3", "3", "1/2"},
+			Edges:   [][2]int{{0, 1}, {1, 2}, {2, 3}},
+		}}},
+		{"allocate_ring", "/v1/allocate", AllocateRequest{Graph: ring}},
+		{"utilities_path", "/v1/utilities", UtilitiesRequest{Graph: WireGraph{Path: []string{"2", "1", "2"}}}},
+		{"ratio_ring", "/v1/ratio", RatioRequest{Graph: ring, V: 2, Grid: 8}},
+		{"sweep_ring", "/v1/sweep", SweepRequest{Graph: ring, V: 2, Grid: 4}},
+		{"error_bad_engine", "/v1/decompose", DecomposeRequest{Graph: ring, Engine: "quantum"}},
+		{"error_not_ring", "/v1/ratio", RatioRequest{Graph: WireGraph{Path: []string{"1", "2", "3"}}, V: 0}},
+		{"error_two_shapes", "/v1/decompose", DecomposeRequest{Graph: WireGraph{Ring: []string{"1", "1", "1"}, Path: []string{"1"}}}},
+		{"error_negative_weight", "/v1/utilities", UtilitiesRequest{Graph: WireGraph{Ring: []string{"1", "-2", "3"}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, raw := postJSON(t, ts.URL, tc.path, tc.body)
+			if wantErr := len(tc.name) >= 5 && tc.name[:5] == "error"; wantErr != (status != http.StatusOK) {
+				t.Fatalf("status %d for case %s: %s", status, tc.name, raw)
+			}
+			got := append(raw, []byte(nil)...) // raw already ends in \n from json.Encoder
+			path := filepath.Join("testdata", "golden", tc.name+".json")
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("wire format drifted from %s:\ngot:  %swant: %s", path, got, want)
+			}
+			// The body must also be valid JSON.
+			var v any
+			if err := json.Unmarshal(got, &v); err != nil {
+				t.Fatalf("response is not valid JSON: %v", err)
+			}
+		})
+	}
+}

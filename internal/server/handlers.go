@@ -1,0 +1,346 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+	"repro/internal/par"
+)
+
+// statusClientClosed is nginx's convention for "client closed request";
+// it never reaches the client (the connection is gone) but it keeps the
+// logs and metrics honest about why the request ended.
+const statusClientClosed = 499
+
+// writeJSON writes a JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes the uniform error body.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// writeComputeError maps a computation error to a status: context errors
+// become timeouts/client-gone, everything else is a plain 500.
+func writeComputeError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "computation exceeded the request timeout")
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosed, "client canceled")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// decodeBody parses the request body into v, rejecting unknown fields and
+// trailing garbage so schema drift fails loudly on the client side too.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "invalid request body: trailing data")
+		return false
+	}
+	return true
+}
+
+// entryForWire builds the graph from its wire form and resolves the cache
+// entry for its canonical key.
+func (s *Server) entryForWire(w http.ResponseWriter, wg *WireGraph) (*cacheEntry, bool) {
+	g, err := wg.Build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil, false
+	}
+	return s.cache.entryFor(CanonicalKey(g), g), true
+}
+
+func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
+	var req DecomposeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	engine, err := parseEngine(req.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	entry, ok := s.entryForWire(w, &req.Graph)
+	if !ok {
+		return
+	}
+	ctx, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	d, err := entry.decomposition(ctx, engine)
+	if err != nil {
+		writeComputeError(w, r, err)
+		return
+	}
+	resp := DecomposeResponse{
+		Pairs:     make([]WirePair, len(d.Pairs)),
+		Vertices:  make([]WireVertex, entry.g.N()),
+		Signature: d.StructureSignature(),
+	}
+	for i, p := range d.Pairs {
+		resp.Pairs[i] = WirePair{B: p.B, C: p.C, Alpha: EncodeRat(p.Alpha)}
+	}
+	for v := 0; v < entry.g.N(); v++ {
+		resp.Vertices[v] = WireVertex{
+			Index:   v,
+			Label:   entry.g.Label(v),
+			Weight:  EncodeRat(entry.g.Weight(v)),
+			Class:   d.ClassOf(v).String(),
+			Alpha:   EncodeRat(d.AlphaOf(v)),
+			Utility: EncodeRat(d.Utility(entry.g, v)),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
+	var req AllocateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	engine, err := parseEngine(req.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	entry, ok := s.entryForWire(w, &req.Graph)
+	if !ok {
+		return
+	}
+	ctx, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	a, err := entry.allocation(ctx, engine)
+	if err != nil {
+		writeComputeError(w, r, err)
+		return
+	}
+	resp := AllocateResponse{Transfers: []WireTransfer{}, Utilities: make([]string, entry.g.N())}
+	for _, e := range entry.g.Edges() {
+		for _, dir := range [2][2]int{{e[0], e[1]}, {e[1], e[0]}} {
+			if amt := a.Get(dir[0], dir[1]); !amt.IsZero() {
+				resp.Transfers = append(resp.Transfers, WireTransfer{From: dir[0], To: dir[1], Amount: EncodeRat(amt)})
+			}
+		}
+	}
+	sortTransfers(resp.Transfers)
+	for v := 0; v < entry.g.N(); v++ {
+		resp.Utilities[v] = EncodeRat(a.Utility(v))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sortTransfers orders by (from, to) so the wire format is deterministic.
+func sortTransfers(ts []WireTransfer) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && (ts[j].From < ts[j-1].From || (ts[j].From == ts[j-1].From && ts[j].To < ts[j-1].To)); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+func (s *Server) handleUtilities(w http.ResponseWriter, r *http.Request) {
+	var req UtilitiesRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	engine, err := parseEngine(req.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	entry, ok := s.entryForWire(w, &req.Graph)
+	if !ok {
+		return
+	}
+	ctx, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	d, err := entry.decomposition(ctx, engine)
+	if err != nil {
+		writeComputeError(w, r, err)
+		return
+	}
+	us := d.Utilities(entry.g)
+	total := numeric.Zero
+	for _, u := range us {
+		total = total.Add(u)
+	}
+	writeJSON(w, http.StatusOK, UtilitiesResponse{
+		Utilities:   encodeRats(us),
+		Total:       EncodeRat(total),
+		TotalWeight: EncodeRat(entry.g.TotalWeight()),
+	})
+}
+
+func (s *Server) handleRatio(w http.ResponseWriter, r *http.Request) {
+	var req RatioRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Grid < 0 || req.Grid > 4096 {
+		writeError(w, http.StatusBadRequest, "grid outside [0, 4096]")
+		return
+	}
+	entry, ok := s.entryForWire(w, &req.Graph)
+	if !ok {
+		return
+	}
+	if !entry.g.IsRing() {
+		writeError(w, http.StatusBadRequest, "ratio requires a ring graph")
+		return
+	}
+	if req.V < 0 || req.V >= entry.g.N() {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("agent %d out of range [0, %d)", req.V, entry.g.N()))
+		return
+	}
+	ctx, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	// Micro-batch: concurrent ratio requests for the same (instance, agent,
+	// grid) share one optimizer run over the entry's shared solver state.
+	key := fmt.Sprintf("%s|v=%d|grid=%d", entry.key, req.V, req.Grid)
+	val, _, err := s.batch.do(ctx, key, s.computeBase, func(runCtx context.Context) (any, error) {
+		in, err := entry.instance(req.V)
+		if err != nil {
+			return nil, err
+		}
+		return in.OptimizeCtx(runCtx, core.OptimizeOptions{Grid: req.Grid})
+	})
+	if err != nil {
+		writeComputeError(w, r, err)
+		return
+	}
+	opt := val.(*core.OptResult)
+	in, err := entry.instance(req.V) // cached by the batch computation
+	if err != nil {
+		writeComputeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RatioResponse{
+		Honest: EncodeRat(in.HonestU),
+		BestW1: EncodeRat(opt.BestW1),
+		BestU:  EncodeRat(opt.BestU),
+		Ratio:  EncodeRat(opt.Ratio),
+		LeqTwo: opt.Ratio.LessEq(numeric.Two),
+		Evals:  opt.Evals,
+		Pieces: len(opt.Pieces),
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	grid := req.Grid
+	if grid == 0 {
+		grid = 64
+	}
+	if grid < 0 || grid > 4096 {
+		writeError(w, http.StatusBadRequest, "grid outside [1, 4096]")
+		return
+	}
+	entry, ok := s.entryForWire(w, &req.Graph)
+	if !ok {
+		return
+	}
+	if !entry.g.IsRing() {
+		writeError(w, http.StatusBadRequest, "sweep requires a ring graph")
+		return
+	}
+	if req.V < 0 || req.V >= entry.g.N() {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("agent %d out of range [0, %d)", req.V, entry.g.N()))
+		return
+	}
+	ctx, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	resp, err := s.sweep(ctx, entry, req.V, grid)
+	if err != nil {
+		writeComputeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sweep evaluates the split-utility curve on the entry's cached instance.
+// It mirrors sybil.RingSweep point for point (same grid, same exact
+// arithmetic) but reuses the entry's core.Instance, so repeated sweeps of
+// one instance pay only cache lookups.
+func (s *Server) sweep(ctx context.Context, entry *cacheEntry, v, grid int) (*SweepResponse, error) {
+	in, err := entry.instance(v)
+	if err != nil {
+		return nil, err
+	}
+	W := in.W()
+	type point struct {
+		w1 numeric.Rat
+		u  numeric.Rat
+	}
+	pts := make([]point, grid+1)
+	errs := par.Map(len(pts), 0, func(i int) error {
+		w1 := W.MulInt(int64(i)).DivInt(int64(grid))
+		ev, err := in.EvalSplitCtx(ctx, w1)
+		if err != nil {
+			return err
+		}
+		pts[i] = point{w1: w1, u: ev.U}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	resp := &SweepResponse{Points: make([]WireSweepPoint, len(pts))}
+	bestW1, bestU := pts[0].w1, pts[0].u
+	for i, p := range pts {
+		resp.Points[i] = WireSweepPoint{W1: EncodeRat(p.w1), U: EncodeRat(p.u)}
+		if bestU.Less(p.u) {
+			bestW1, bestU = p.w1, p.u
+		}
+	}
+	resp.BestW1, resp.BestU = EncodeRat(bestW1), EncodeRat(bestU)
+	resp.Honest = EncodeRat(in.HonestU)
+	switch {
+	case in.HonestU.Sign() > 0:
+		resp.Ratio = EncodeRat(bestU.Div(in.HonestU))
+	case bestU.Sign() > 0:
+		return nil, fmt.Errorf("positive attack utility %v from zero honest utility", bestU)
+	default:
+		resp.Ratio = EncodeRat(numeric.One)
+	}
+	return resp, nil
+}

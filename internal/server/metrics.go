@@ -1,0 +1,125 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds (Prometheus
+// convention: cumulative, +Inf implicit).
+var latencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// metrics aggregates the service counters exposed at /metrics in the
+// Prometheus text exposition format. It is deliberately dependency-free: a
+// mutex-guarded map of per-endpoint series is more than enough at the
+// request rates one exact-arithmetic solver process can sustain.
+type metrics struct {
+	mu        sync.Mutex
+	requests  map[statusKey]int64            // requests_total{endpoint,code}
+	histogram map[string]*latencyHistogram   // request_seconds{endpoint}
+}
+
+type statusKey struct {
+	endpoint string
+	code     int
+}
+
+type latencyHistogram struct {
+	counts []int64 // len(latencyBuckets)+1; last bucket = +Inf
+	sum    float64
+	total  int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:  make(map[statusKey]int64),
+		histogram: make(map[string]*latencyHistogram),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(endpoint string, code int, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[statusKey{endpoint, code}]++
+	h := m.histogram[endpoint]
+	if h == nil {
+		h = &latencyHistogram{counts: make([]int64, len(latencyBuckets)+1)}
+		m.histogram[endpoint] = h
+	}
+	i := sort.SearchFloat64s(latencyBuckets, secs)
+	h.counts[i]++
+	h.sum += secs
+	h.total++
+}
+
+// gauges is the snapshot of instantaneous values rendered alongside the
+// cumulative series; the server fills it from the pool, cache and batcher.
+type gauges struct {
+	poolCap, poolInUse, poolWaiting int
+	cacheEntries                    int
+	cacheHits, cacheMisses          int64
+	cacheEvictions                  int64
+	batchRuns, batchJoins           int64
+}
+
+// write renders everything in the Prometheus text format.
+func (m *metrics) write(w io.Writer, g gauges) {
+	m.mu.Lock()
+	reqs := make([]statusKey, 0, len(m.requests))
+	for k := range m.requests {
+		reqs = append(reqs, k)
+	}
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].endpoint != reqs[j].endpoint {
+			return reqs[i].endpoint < reqs[j].endpoint
+		}
+		return reqs[i].code < reqs[j].code
+	})
+	eps := make([]string, 0, len(m.histogram))
+	for ep := range m.histogram {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+
+	fmt.Fprint(w, "# HELP irshared_requests_total Requests served, by endpoint and status code.\n# TYPE irshared_requests_total counter\n")
+	for _, k := range reqs {
+		fmt.Fprintf(w, "irshared_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	}
+	fmt.Fprint(w, "# HELP irshared_request_seconds Request latency, by endpoint.\n# TYPE irshared_request_seconds histogram\n")
+	for _, ep := range eps {
+		h := m.histogram[ep]
+		cum := int64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "irshared_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, ub, cum)
+		}
+		fmt.Fprintf(w, "irshared_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.total)
+		fmt.Fprintf(w, "irshared_request_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(w, "irshared_request_seconds_count{endpoint=%q} %d\n", ep, h.total)
+	}
+	m.mu.Unlock()
+
+	fmt.Fprint(w, "# HELP irshared_cache_hits_total Instance-cache hits.\n# TYPE irshared_cache_hits_total counter\n")
+	fmt.Fprintf(w, "irshared_cache_hits_total %d\n", g.cacheHits)
+	fmt.Fprint(w, "# HELP irshared_cache_misses_total Instance-cache misses.\n# TYPE irshared_cache_misses_total counter\n")
+	fmt.Fprintf(w, "irshared_cache_misses_total %d\n", g.cacheMisses)
+	fmt.Fprint(w, "# HELP irshared_cache_evictions_total Instance-cache LRU evictions.\n# TYPE irshared_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "irshared_cache_evictions_total %d\n", g.cacheEvictions)
+	fmt.Fprint(w, "# HELP irshared_cache_entries Resident instance-cache entries.\n# TYPE irshared_cache_entries gauge\n")
+	fmt.Fprintf(w, "irshared_cache_entries %d\n", g.cacheEntries)
+	fmt.Fprint(w, "# HELP irshared_pool_capacity Worker-pool slot capacity.\n# TYPE irshared_pool_capacity gauge\n")
+	fmt.Fprintf(w, "irshared_pool_capacity %d\n", g.poolCap)
+	fmt.Fprint(w, "# HELP irshared_pool_in_use Worker-pool slots currently held.\n# TYPE irshared_pool_in_use gauge\n")
+	fmt.Fprintf(w, "irshared_pool_in_use %d\n", g.poolInUse)
+	fmt.Fprint(w, "# HELP irshared_pool_waiting Requests queued for a pool slot.\n# TYPE irshared_pool_waiting gauge\n")
+	fmt.Fprintf(w, "irshared_pool_waiting %d\n", g.poolWaiting)
+	fmt.Fprint(w, "# HELP irshared_batch_runs_total Ratio computations executed.\n# TYPE irshared_batch_runs_total counter\n")
+	fmt.Fprintf(w, "irshared_batch_runs_total %d\n", g.batchRuns)
+	fmt.Fprint(w, "# HELP irshared_batch_joins_total Ratio requests that joined an in-flight batch.\n# TYPE irshared_batch_joins_total counter\n")
+	fmt.Fprintf(w, "irshared_batch_joins_total %d\n", g.batchJoins)
+}

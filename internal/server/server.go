@@ -1,0 +1,173 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/par"
+)
+
+// Config tunes the service. Zero values select the documented defaults.
+type Config struct {
+	// CacheSize bounds the instance LRU by graph count (default 128;
+	// negative disables caching entirely).
+	CacheSize int
+	// PoolSize bounds concurrent heavy computations (≤ 0 = GOMAXPROCS).
+	PoolSize int
+	// RequestTimeout bounds one computation (default 30s). It is enforced
+	// server-side: the deadline context reaches the Dinkelbach/DP loops.
+	RequestTimeout time.Duration
+	// QueueTimeout bounds the wait for a pool slot (default 5s); requests
+	// that cannot be admitted in time fail with 503.
+	QueueTimeout time.Duration
+	// BatchWindow is how long the first /v1/ratio request for an instance
+	// holds its batch open for others to join (default 0: join-in-flight
+	// batching only, no added latency).
+	BatchWindow time.Duration
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Logger receives structured request logs (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the irshared service: five /v1 compute endpoints over the
+// shared cache/pool/batcher, plus /healthz and /metrics. Construct with
+// New, mount via Handler, and drain with http.Server.Shutdown — the pool
+// empties as in-flight requests finish, so shutdown is graceful by
+// construction.
+type Server struct {
+	cfg     Config
+	pool    *par.Limiter
+	cache   *instanceCache
+	batch   *batcher
+	metrics *metrics
+	log     *slog.Logger
+}
+
+// New constructs a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		pool:    par.NewLimiter(cfg.PoolSize),
+		cache:   newInstanceCache(cfg.CacheSize),
+		batch:   newBatcher(cfg.BatchWindow),
+		metrics: newMetrics(),
+		log:     cfg.Logger,
+	}
+}
+
+// Handler returns the service's http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/decompose", s.instrument("/v1/decompose", s.handleDecompose))
+	mux.HandleFunc("POST /v1/allocate", s.instrument("/v1/allocate", s.handleAllocate))
+	mux.HandleFunc("POST /v1/utilities", s.instrument("/v1/utilities", s.handleUtilities))
+	mux.HandleFunc("POST /v1/ratio", s.instrument("/v1/ratio", s.handleRatio))
+	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// statusWriter records the status code for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with body limits, logging and metrics.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		elapsed := time.Since(start)
+		s.metrics.observe(endpoint, sw.code, elapsed)
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("endpoint", endpoint),
+			slog.String("method", r.Method),
+			slog.Int("status", sw.code),
+			slog.Duration("elapsed", elapsed),
+			slog.String("remote", r.RemoteAddr),
+		)
+	}
+}
+
+// admit takes a pool slot and a computation context for one request. The
+// returned release must be called when the computation finishes; ok=false
+// means the request was rejected (response already written).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Context, release func(), ok bool) {
+	queueCtx, cancelQueue := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
+	err := s.pool.Acquire(queueCtx)
+	cancelQueue()
+	if err != nil {
+		if r.Context().Err() != nil {
+			// Client went away while queued; nothing useful to write.
+			writeError(w, statusClientClosed, "client canceled while queued")
+		} else {
+			writeError(w, http.StatusServiceUnavailable, "server busy: no worker slot within queue timeout")
+		}
+		return nil, nil, false
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	return ctx, func() { cancel(); s.pool.Release() }, true
+}
+
+// computeBase builds the context for a batched computation: bounded by the
+// server's request timeout but NOT by any single request's lifetime (the
+// batcher cancels it when the batch ends or every participant departs).
+func (s *Server) computeBase() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, gauges{
+		poolCap:        s.pool.Cap(),
+		poolInUse:      s.pool.InUse(),
+		poolWaiting:    s.pool.Waiting(),
+		cacheEntries:   s.cache.len(),
+		cacheHits:      s.cache.hits.Load(),
+		cacheMisses:    s.cache.misses.Load(),
+		cacheEvictions: s.cache.evictions.Load(),
+		batchRuns:      s.batch.runs.Load(),
+		batchJoins:     s.batch.joins.Load(),
+	})
+}

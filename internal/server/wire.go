@@ -1,0 +1,307 @@
+// Package server implements irshared, a long-running HTTP/JSON service over
+// the resource-sharing library: bottleneck decompositions, BD allocations,
+// equilibrium utilities, and the Sybil incentive-ratio analysis of rings,
+// exposed as five /v1 endpoints.
+//
+// The service layers three pieces of machinery over the exact solvers:
+//
+//   - a bounded worker pool (par.Limiter) admitting requests to the heavy
+//     computations, with per-request timeouts and cancellation threaded all
+//     the way into the Dinkelbach/DP loops,
+//   - a size-bounded LRU cache keyed by the canonical exact-rational
+//     instance encoding, so repeated graphs reuse decompositions, BD
+//     allocations and core.Instance solver state across requests,
+//   - micro-batching of /v1/ratio requests: concurrent requests for the
+//     same (instance, agent, grid) join one shared optimizer run.
+//
+// Everything on the wire is exact: rationals are serialized as canonical
+// "p/q" strings (decoded by DecodeRat, the codec fuzzed by FuzzRatDecode),
+// so API answers are bit-identical to in-process results — the differential
+// tests enforce this.
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bottleneck"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// maxRatLen bounds one rational on the wire. Canonical forms of every
+// quantity the service produces are far shorter; the limit exists so a
+// hostile weight string cannot turn into an outsized big.Int parse.
+const maxRatLen = 4096
+
+// DecodeRat parses the wire form of an exact rational: an integer "42", a
+// fraction "3/4", or a decimal "0.25" (numeric.Parse's grammar), at most
+// maxRatLen bytes. This is the single entry point for rationals crossing
+// the API boundary, and the target of FuzzRatDecode.
+func DecodeRat(s string) (numeric.Rat, error) {
+	if len(s) > maxRatLen {
+		return numeric.Rat{}, fmt.Errorf("server: rational literal of %d bytes exceeds limit %d", len(s), maxRatLen)
+	}
+	return numeric.Parse(s)
+}
+
+// EncodeRat renders r in the canonical wire form ("n" or "n/d"). It is the
+// inverse of DecodeRat on canonical strings: DecodeRat(EncodeRat(r)) == r
+// and EncodeRat is a fixed point of the round trip.
+func EncodeRat(r numeric.Rat) string { return r.String() }
+
+// decodeRats decodes a weight vector, labeling errors with the field name.
+func decodeRats(field string, ss []string) ([]numeric.Rat, error) {
+	out := make([]numeric.Rat, len(ss))
+	for i, s := range ss {
+		r, err := DecodeRat(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s[%d]: %w", field, i, err)
+		}
+		if r.Sign() < 0 {
+			return nil, fmt.Errorf("%s[%d]: negative weight %s", field, i, s)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// encodeRats renders a rational vector in wire form.
+func encodeRats(rs []numeric.Rat) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = EncodeRat(r)
+	}
+	return out
+}
+
+// maxWireVertices caps request graphs. The solvers are exact and
+// polynomial, but a service must bound the work one request can demand.
+const maxWireVertices = 4096
+
+// WireGraph is the JSON form of an instance. Exactly one of the three
+// shapes must be used: Ring and Path are conveniences expanding to the
+// obvious cycle/path over their weights; the general form gives N, Weights
+// and Edges explicitly.
+type WireGraph struct {
+	N       int      `json:"n,omitempty"`
+	Weights []string `json:"weights,omitempty"`
+	Edges   [][2]int `json:"edges,omitempty"`
+	Ring    []string `json:"ring,omitempty"`
+	Path    []string `json:"path,omitempty"`
+}
+
+// Build validates the wire graph and constructs the in-memory instance.
+func (wg *WireGraph) Build() (*graph.Graph, error) {
+	shapes := 0
+	for _, on := range []bool{len(wg.Ring) > 0, len(wg.Path) > 0, wg.N > 0 || len(wg.Weights) > 0 || len(wg.Edges) > 0} {
+		if on {
+			shapes++
+		}
+	}
+	if shapes != 1 {
+		return nil, fmt.Errorf("graph: give exactly one of ring, path, or n/weights/edges")
+	}
+	switch {
+	case len(wg.Ring) > 0:
+		if len(wg.Ring) < 3 {
+			return nil, fmt.Errorf("graph: ring needs at least 3 vertices, got %d", len(wg.Ring))
+		}
+		if len(wg.Ring) > maxWireVertices {
+			return nil, fmt.Errorf("graph: %d vertices exceed limit %d", len(wg.Ring), maxWireVertices)
+		}
+		ws, err := decodeRats("ring", wg.Ring)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Ring(ws), nil
+	case len(wg.Path) > 0:
+		if len(wg.Path) > maxWireVertices {
+			return nil, fmt.Errorf("graph: %d vertices exceed limit %d", len(wg.Path), maxWireVertices)
+		}
+		ws, err := decodeRats("path", wg.Path)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Path(ws), nil
+	}
+	if wg.N <= 0 || wg.N > maxWireVertices {
+		return nil, fmt.Errorf("graph: vertex count %d outside [1, %d]", wg.N, maxWireVertices)
+	}
+	if len(wg.Weights) != wg.N {
+		return nil, fmt.Errorf("graph: %d weights for %d vertices", len(wg.Weights), wg.N)
+	}
+	ws, err := decodeRats("weights", wg.Weights)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.New(wg.N)
+	if err := g.SetWeights(ws); err != nil {
+		return nil, err
+	}
+	for i, e := range wg.Edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= wg.N || v < 0 || v >= wg.N {
+			return nil, fmt.Errorf("edges[%d]: (%d,%d) out of range", i, u, v)
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			return nil, fmt.Errorf("edges[%d]: %v", i, err)
+		}
+	}
+	return g, nil
+}
+
+// CanonicalKey renders g as the canonical exact-rational instance encoding
+// used as the cache key: vertex count, canonical weight strings in index
+// order, and the sorted edge list. Two requests describing the same
+// instance — whether via ring/path shorthand or explicit edges, and
+// whatever representation their rationals arrived in ("2/6" vs "1/3") —
+// produce the same key.
+func CanonicalKey(g *graph.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n%d;w", g.N())
+	for v := 0; v < g.N(); v++ {
+		if v > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(g.Weight(v).String())
+	}
+	b.WriteString(";e")
+	for i, e := range g.Edges() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d-%d", e[0], e[1])
+	}
+	return b.String()
+}
+
+// parseEngine maps the wire engine name (empty = auto) to the solver enum.
+func parseEngine(s string) (bottleneck.Engine, error) {
+	switch s {
+	case "", "auto":
+		return bottleneck.EngineAuto, nil
+	case "flow":
+		return bottleneck.EngineFlow, nil
+	case "path-dp":
+		return bottleneck.EnginePathDP, nil
+	case "brute":
+		return bottleneck.EngineBrute, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q", s)
+}
+
+// Request and response bodies of the five endpoints. All rationals are
+// canonical "p/q" strings; the golden tests pin these shapes.
+
+// DecomposeRequest is the body of POST /v1/decompose.
+type DecomposeRequest struct {
+	Graph  WireGraph `json:"graph"`
+	Engine string    `json:"engine,omitempty"`
+}
+
+// WirePair is one bottleneck pair (B_i, C_i, α_i).
+type WirePair struct {
+	B     []int  `json:"b"`
+	C     []int  `json:"c"`
+	Alpha string `json:"alpha"`
+}
+
+// WireVertex is the per-vertex view of a decomposition.
+type WireVertex struct {
+	Index   int    `json:"index"`
+	Label   string `json:"label"`
+	Weight  string `json:"weight"`
+	Class   string `json:"class"`
+	Alpha   string `json:"alpha"`
+	Utility string `json:"utility"`
+}
+
+// DecomposeResponse is the body of a /v1/decompose answer.
+type DecomposeResponse struct {
+	Pairs     []WirePair   `json:"pairs"`
+	Vertices  []WireVertex `json:"vertices"`
+	Signature string       `json:"signature"`
+}
+
+// AllocateRequest is the body of POST /v1/allocate.
+type AllocateRequest struct {
+	Graph  WireGraph `json:"graph"`
+	Engine string    `json:"engine,omitempty"`
+}
+
+// WireTransfer is one directed allocation x[from → to] > 0.
+type WireTransfer struct {
+	From   int    `json:"from"`
+	To     int    `json:"to"`
+	Amount string `json:"amount"`
+}
+
+// AllocateResponse is the body of a /v1/allocate answer. Transfers list
+// every nonzero x[u → v] in lexicographic (from, to) order.
+type AllocateResponse struct {
+	Transfers []WireTransfer `json:"transfers"`
+	Utilities []string       `json:"utilities"`
+}
+
+// UtilitiesRequest is the body of POST /v1/utilities.
+type UtilitiesRequest struct {
+	Graph  WireGraph `json:"graph"`
+	Engine string    `json:"engine,omitempty"`
+}
+
+// UtilitiesResponse is the body of a /v1/utilities answer.
+type UtilitiesResponse struct {
+	Utilities   []string `json:"utilities"`
+	Total       string   `json:"total"`
+	TotalWeight string   `json:"total_weight"`
+}
+
+// RatioRequest is the body of POST /v1/ratio. V is the manipulative agent;
+// Grid tunes the optimizer (0 = default 64). The graph must be a ring.
+type RatioRequest struct {
+	Graph WireGraph `json:"graph"`
+	V     int       `json:"v"`
+	Grid  int       `json:"grid,omitempty"`
+}
+
+// RatioResponse is the body of a /v1/ratio answer: the attacker's honest
+// utility, the optimizer's certified best split and the incentive ratio,
+// with the exact Theorem 8 check ratio ≤ 2.
+type RatioResponse struct {
+	Honest string `json:"honest"`
+	BestW1 string `json:"best_w1"`
+	BestU  string `json:"best_u"`
+	Ratio  string `json:"ratio"`
+	LeqTwo bool   `json:"leq_two"`
+	Evals  int    `json:"evals"`
+	Pieces int    `json:"pieces"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: evaluate the split-utility
+// curve of agent V at Grid+1 evenly spaced w1 values (0 = default 64).
+type SweepRequest struct {
+	Graph WireGraph `json:"graph"`
+	V     int       `json:"v"`
+	Grid  int       `json:"grid,omitempty"`
+}
+
+// WireSweepPoint is one exactly evaluated split.
+type WireSweepPoint struct {
+	W1 string `json:"w1"`
+	U  string `json:"u"`
+}
+
+// SweepResponse is the body of a /v1/sweep answer.
+type SweepResponse struct {
+	Points []WireSweepPoint `json:"points"`
+	BestW1 string           `json:"best_w1"`
+	BestU  string           `json:"best_u"`
+	Honest string           `json:"honest"`
+	Ratio  string           `json:"ratio"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

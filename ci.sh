@@ -10,6 +10,16 @@ go build ./...
 go vet ./...
 go test -race ./...
 
+# Focused race pass on the observability layer and the server: the span
+# recorder is mutated from every solver goroutine and the trace collector
+# is shared across requests, so these two packages get a dedicated -count=2
+# run to shake out interleavings the full-suite pass may not hit.
+go test -race -count=2 ./internal/obs ./internal/server
+
+# Refresh the recorded disabled-vs-enabled tracing overhead numbers.
+go run ./cmd/benchjson -bench 'Obs' -pkg ./internal/obs -out BENCH_obs.json \
+	-note "disabled-vs-enabled recorder overhead: primitives (Start/AddInt/End) and end-to-end DecomposeCtx on a 64-ring"
+
 # Fuzz smoke: run each native fuzz target briefly against its seed corpus
 # plus fresh mutations. Parser/codec regressions (panics, unbounded
 # allocation) surface here long before a full fuzzing campaign.

@@ -9,6 +9,8 @@
 //	POST /v1/sweep      split-utility curve of one ring agent
 //	GET  /healthz       liveness
 //	GET  /metrics       Prometheus text metrics
+//	GET  /debug/trace   span tree of a finished request (?id= from X-Trace-Id)
+//	GET  /debug/pprof/  runtime profiles (only with -pprof)
 //
 // The process drains gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests run to completion (bounded by -timeout), then the
@@ -48,6 +50,10 @@ func run(args []string) error {
 		batchWindow  = fs.Duration("batch-window", 0, "ratio batch collection window (0 = join-in-flight only)")
 		drain        = fs.Duration("drain", 30*time.Second, "max graceful shutdown wait")
 		logFormat    = fs.String("log", "text", "log format: text|json")
+		traceBuffer  = fs.Int("trace-buffer", 256, "retained request traces for /debug/trace (0 disables tracing)")
+		traceKeep    = fs.Duration("trace-retention", 10*time.Minute, "max age of a retained trace")
+		traceSpans   = fs.Int("trace-max-spans", 4096, "span cap per trace (excess spans are dropped, not buffered)")
+		pprof        = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +76,10 @@ func run(args []string) error {
 	if cfgCache == 0 {
 		cfgCache = -1
 	}
+	cfgTrace := *traceBuffer
+	if cfgTrace == 0 {
+		cfgTrace = -1
+	}
 	srv := server.New(server.Config{
 		CacheSize:      cfgCache,
 		PoolSize:       *pool,
@@ -77,6 +87,10 @@ func run(args []string) error {
 		QueueTimeout:   *queueTimeout,
 		BatchWindow:    *batchWindow,
 		Logger:         logger,
+		TraceBuffer:    cfgTrace,
+		TraceRetention: *traceKeep,
+		TraceMaxSpans:  *traceSpans,
+		EnablePprof:    *pprof,
 	})
 
 	httpSrv := &http.Server{

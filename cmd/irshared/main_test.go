@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -49,6 +50,77 @@ func TestGracefulShutdown(t *testing.T) {
 
 	// signal.NotifyContext has SIGTERM claimed, so self-delivery drains the
 	// server instead of killing the test process.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+}
+
+// TestTraceAndPprofFlags boots with tracing and pprof enabled and checks
+// both debug surfaces respond before draining.
+func TestTraceAndPprofFlags(t *testing.T) {
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", addr, "-log", "json", "-drain", "5s",
+			"-trace-buffer", "8", "-trace-retention", "1m", "-pprof",
+		})
+	}()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not come up at %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/v1/decompose", "application/json",
+		strings.NewReader(`{"graph":{"ring":["1","2","3"]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompose status %d", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-Trace-Id")
+	if id == "" {
+		t.Fatal("no X-Trace-Id header with -trace-buffer 8")
+	}
+	tr, err := http.Get(base + "/debug/trace?id=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace?id=%s status %d", id, tr.StatusCode)
+	}
+	pp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", pp.StatusCode)
+	}
+
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}

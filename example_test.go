@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
@@ -9,7 +10,7 @@ import (
 // The bottleneck decomposition of the paper's Fig. 1 example.
 func ExampleDecompose() {
 	g := repro.Fig1Graph()
-	dec, err := repro.Decompose(g)
+	dec, err := repro.Decompose(context.Background(), g)
 	if err != nil {
 		panic(err)
 	}
@@ -20,9 +21,10 @@ func ExampleDecompose() {
 
 // Equilibrium utilities follow Proposition 6: w·α for B class, w/α for C.
 func ExampleAllocate() {
+	ctx := context.Background()
 	g := repro.Path(repro.Ints(1, 100, 1))
-	dec, _ := repro.Decompose(g)
-	alloc, _ := repro.Allocate(g, dec)
+	dec, _ := repro.Decompose(ctx, g)
+	alloc, _ := repro.Allocate(ctx, g, repro.WithDecomposition(dec))
 	fmt.Println("middle:", alloc.Utility(1))
 	fmt.Println("leaf:  ", alloc.Utility(0))
 	// Output:
@@ -34,7 +36,7 @@ func ExampleAllocate() {
 // (Theorem 8); on symmetric instances it is exactly 1.
 func ExampleIncentiveRatio() {
 	g := repro.Ring(repro.Ints(1, 1, 1, 1, 1))
-	ratio, _ := repro.IncentiveRatio(g, 0)
+	ratio, _ := repro.IncentiveRatio(context.Background(), g, 0)
 	fmt.Println(ratio)
 	// Output:
 	// 1

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 
 	// Unilateral ratios first: both are within Theorem 8's bound of 2.
 	for _, v := range []int{a, b} {
-		r, err := repro.IncentiveRatio(g, v)
+		r, err := repro.IncentiveRatio(context.Background(), g, v)
 		if err != nil {
 			log.Fatal(err)
 		}

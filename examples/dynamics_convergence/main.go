@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 
 	series := make([][]float64, len(instances))
 	for i, it := range instances {
-		dec, err := repro.Decompose(it.g)
+		dec, err := repro.Decompose(context.Background(), it.g)
 		if err != nil {
 			log.Fatal(err)
 		}

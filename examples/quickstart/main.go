@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,20 +13,25 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Nine agents on a ring: one rich peer (weight 100) and eight unit
 	// peers. Agent 3 will be our manipulator.
 	g := repro.Ring(repro.Ints(100, 1, 1, 1, 1, 1, 1, 1, 1))
 
 	// 1. The bottleneck decomposition drives everything (Definition 2).
-	dec, err := repro.Decompose(g)
+	// The solver entry points are context-first and take functional options
+	// (repro.WithEngine, repro.WithWorkers, repro.WithRecorder, ...).
+	dec, err := repro.Decompose(ctx, g)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("bottleneck decomposition:", dec)
 
 	// 2. The BD Allocation Mechanism computes the proportional-response
-	// equilibrium exactly (Definition 5 / Proposition 6).
-	alloc, err := repro.Allocate(g, dec)
+	// equilibrium exactly (Definition 5 / Proposition 6). Reuse the
+	// decomposition from step 1 instead of recomputing it.
+	alloc, err := repro.Allocate(ctx, g, repro.WithDecomposition(dec))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,10 +49,19 @@ func main() {
 		dyn.Rounds, dyn.Utilities[3], alloc.Utility(3))
 
 	// 4. Agent 3's best Sybil attack (exactly optimized; ≤ 2 by Theorem 8).
-	ratio, err := repro.IncentiveRatio(g, 3)
+	// A TraceCapture recorder keeps the solve's span tree — the same
+	// observability the irshared service exposes at /debug/trace.
+	rec := &repro.TraceCapture{}
+	ratio, err := repro.IncentiveRatio(ctx, g, 3, repro.WithRecorder(rec))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("incentive ratio of agent 3: %s ≈ %.6f (Theorem 8 caps it at 2)\n",
 		ratio, ratio.Float64())
+	if snap := rec.Last(); snap != nil {
+		evals := int64(0)
+		snap.Root.Walk(func(sp *repro.SpanSnapshot) { evals += sp.Counter("evals") })
+		fmt.Printf("trace %q: %v total, %d optimizer evals recorded\n",
+			snap.Name, snap.Duration, evals)
+	}
 }

@@ -1,0 +1,209 @@
+package repro
+
+import (
+	"context"
+
+	"repro/internal/allocation"
+	"repro/internal/bottleneck"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sybil"
+)
+
+// Engine selects the bottleneck decomposition algorithm.
+type Engine = bottleneck.Engine
+
+// Engine values for WithEngine.
+const (
+	// EngineAuto picks the path/cycle DP where the graph allows it and the
+	// parametric max-flow oracle otherwise (the default).
+	EngineAuto = bottleneck.EngineAuto
+	// EngineFlow forces the parametric max-flow oracle.
+	EngineFlow = bottleneck.EngineFlow
+	// EnginePathDP forces the path/cycle dynamic program.
+	EnginePathDP = bottleneck.EnginePathDP
+	// EngineBrute forces the exponential reference oracle (tiny graphs).
+	EngineBrute = bottleneck.EngineBrute
+)
+
+// Observability types, re-exported from the internal recorder so library
+// callers can trace solves without importing internal packages.
+type (
+	// Recorder mints span traces; pass one via WithRecorder to record a
+	// facade call's full solver span tree.
+	Recorder = obs.Recorder
+	// TraceCapture is the minimal Recorder: it retains the last finished
+	// trace, retrievable with its Last method.
+	TraceCapture = obs.Capture
+	// TraceSnapshot is the immutable span tree of a finished trace.
+	TraceSnapshot = obs.TraceSnapshot
+	// SpanSnapshot is one node of a TraceSnapshot.
+	SpanSnapshot = obs.SpanSnapshot
+)
+
+// Option configures one facade call (Decompose, Allocate, IncentiveRatio,
+// RingSweep). Options that a call does not use are ignored, so a shared
+// option slice can be reused across calls.
+type Option func(*callOptions)
+
+type callOptions struct {
+	engine   Engine
+	workers  int
+	parallel bool
+	grid     int
+	rec      Recorder
+	dec      *Decomposition
+}
+
+func gatherOptions(opts []Option) callOptions {
+	var o callOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
+}
+
+// traced installs a fresh trace from the call's recorder (if any) into ctx;
+// the returned finish must be called when the facade call ends.
+func (o callOptions) traced(ctx context.Context, name string) (context.Context, func()) {
+	if o.rec == nil {
+		return ctx, func() {}
+	}
+	tr := o.rec.NewTrace(name)
+	return tr.Context(ctx), tr.Finish
+}
+
+// WithEngine selects the decomposition engine (default EngineAuto).
+func WithEngine(e Engine) Option {
+	return func(o *callOptions) { o.engine = e }
+}
+
+// WithWorkers bounds the call's parallelism (n ≤ 0 = GOMAXPROCS). For
+// Decompose and Allocate it additionally enables per-component parallel
+// decomposition; for IncentiveRatio and RingSweep it bounds the evaluation
+// workers.
+func WithWorkers(n int) Option {
+	return func(o *callOptions) { o.workers = n; o.parallel = true }
+}
+
+// WithGrid sets the optimizer/sweep grid resolution (0 = the documented
+// default of the underlying solver). Used by IncentiveRatio and RingSweep.
+func WithGrid(n int) Option {
+	return func(o *callOptions) { o.grid = n }
+}
+
+// WithRecorder records the call as a span tree minted from r: solver stages,
+// per-iteration Dinkelbach events, max-flow calls and cache counters all
+// land in one trace. Results are bit-identical with and without a recorder.
+func WithRecorder(r Recorder) Option {
+	return func(o *callOptions) { o.rec = r }
+}
+
+// WithDecomposition supplies a precomputed decomposition so Allocate skips
+// its own Decompose step.
+func WithDecomposition(d *Decomposition) Option {
+	return func(o *callOptions) { o.dec = d }
+}
+
+// decompose is the one shared decomposition path of the facade.
+func (o callOptions) decompose(ctx context.Context, g *Graph) (*Decomposition, error) {
+	if o.parallel {
+		return bottleneck.DecomposeParallelCtx(ctx, g, o.engine, o.workers)
+	}
+	return bottleneck.DecomposeCtx(ctx, g, o.engine)
+}
+
+// Decompose computes the bottleneck decomposition of g (Definition 2). The
+// context carries cancellation and, via WithRecorder, tracing; WithEngine
+// selects the solver and WithWorkers enables per-component parallelism.
+// Every engine and worker configuration returns bit-identical results.
+func Decompose(ctx context.Context, g *Graph, opts ...Option) (*Decomposition, error) {
+	o := gatherOptions(opts)
+	ctx, finish := o.traced(ctx, "repro.decompose")
+	defer finish()
+	return o.decompose(ctx, g)
+}
+
+// Allocate runs the BD Allocation Mechanism (Definition 5): the exact
+// equilibrium allocation of the proportional response dynamics. By default
+// it decomposes g itself (honoring WithEngine/WithWorkers); pass
+// WithDecomposition to reuse a precomputed decomposition.
+func Allocate(ctx context.Context, g *Graph, opts ...Option) (*Allocation, error) {
+	o := gatherOptions(opts)
+	ctx, finish := o.traced(ctx, "repro.allocate")
+	defer finish()
+	d := o.dec
+	if d == nil {
+		var err error
+		if d, err = o.decompose(ctx, g); err != nil {
+			return nil, err
+		}
+	}
+	return allocation.Compute(g, d)
+}
+
+// IncentiveRatio returns ζ_v: agent v's best Sybil gain factor on ring g,
+// exactly evaluated by the certified piecewise optimizer (Theorem 8
+// guarantees ζ_v ≤ 2). WithGrid tunes the optimizer's seed grid and
+// WithWorkers its parallel evaluation; the result is bit-identical for
+// every configuration.
+func IncentiveRatio(ctx context.Context, g *Graph, v int, opts ...Option) (Rat, error) {
+	o := gatherOptions(opts)
+	ctx, finish := o.traced(ctx, "repro.incentive_ratio")
+	defer finish()
+	return core.RingRatioCtx(ctx, g, v, core.OptimizeOptions{Grid: o.grid, Workers: o.workers})
+}
+
+// SweepOptions tunes the low-level sybil sweep; SweepPoint and SweepResult
+// are its exactly evaluated samples and outcome.
+type (
+	SweepOptions = sybil.SweepOptions
+	SweepPoint   = sybil.SweepPoint
+	SweepResult  = sybil.SweepResult
+)
+
+// RingSweep evaluates agent v's two-identity split utility curve on ring g
+// at WithGrid+1 evenly spaced points (default grid 64), sharing one solver
+// instance so the incremental split engine is reused across the curve.
+func RingSweep(ctx context.Context, g *Graph, v int, opts ...Option) (*SweepResult, error) {
+	o := gatherOptions(opts)
+	ctx, finish := o.traced(ctx, "repro.ring_sweep")
+	defer finish()
+	return sybil.RingSweepCtx(ctx, g, v, sybil.SweepOptions{Grid: o.grid, Workers: o.workers})
+}
+
+// Deprecated wrappers preserving the pre-options call shapes. Each is a
+// thin delegation to the context-first facade and returns bit-identical
+// results; new code should call the facade directly.
+
+// DecomposeWith decomposes g under an explicit engine.
+//
+// Deprecated: use Decompose(ctx, g, WithEngine(engine)).
+func DecomposeWith(g *Graph, engine Engine) (*Decomposition, error) {
+	return Decompose(context.Background(), g, WithEngine(engine))
+}
+
+// DecomposeParallel decomposes each connected component concurrently and
+// merges the pair sequences by α (exact; see internal/bottleneck).
+//
+// Deprecated: use Decompose(ctx, g, WithWorkers(workers)).
+func DecomposeParallel(g *Graph, workers int) (*Decomposition, error) {
+	return Decompose(context.Background(), g, WithWorkers(workers))
+}
+
+// AllocateDecomposed runs the BD Allocation Mechanism over a precomputed
+// decomposition.
+//
+// Deprecated: use Allocate(ctx, g, WithDecomposition(d)).
+func AllocateDecomposed(g *Graph, d *Decomposition) (*Allocation, error) {
+	return Allocate(context.Background(), g, WithDecomposition(d))
+}
+
+// RingRatio returns ζ_v under the optimizer's default settings.
+//
+// Deprecated: use IncentiveRatio(ctx, g, v).
+func RingRatio(g *Graph, v int) (Rat, error) {
+	return IncentiveRatio(context.Background(), g, v)
+}

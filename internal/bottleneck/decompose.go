@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/graph"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 )
 
 // Engine selects the λ-subproblem solver used inside the decomposition.
@@ -78,6 +80,12 @@ func decomposeInner(ctx context.Context, g *graph.Graph, engine Engine, trace Tr
 	if g.N() == 0 {
 		return nil, fmt.Errorf("bottleneck: empty graph")
 	}
+	ctx, dspan := obs.Start(ctx, "bottleneck.decompose")
+	defer dspan.End()
+	if dspan != nil {
+		dspan.SetAttr("engine", engine.String())
+		dspan.SetAttr("n", strconv.Itoa(g.N()))
+	}
 	var positive, zeros []int
 	for v := 0; v < g.N(); v++ {
 		if g.Weight(v).Sign() > 0 {
@@ -101,19 +109,31 @@ func decomposeInner(ctx context.Context, g *graph.Graph, engine Engine, trace Tr
 			if trace != nil {
 				trace(TraceEvent{Kind: TraceStageStart, Stage: stage, Remaining: len(remaining)})
 			}
+			sctx, sspan := obs.Start(ctx, "bottleneck.stage")
+			if sspan != nil {
+				sspan.SetAttr("stage", strconv.Itoa(stage))
+				sspan.AddInt("remaining", int64(len(remaining)))
+			}
 			sub, orig := posSub.InducedSubgraph(remaining)
-			oracle, err := oracleFor(sub, engine)
+			oracle, err := oracleFor(sctx, sub, engine)
 			if err != nil {
 				return nil, err
 			}
 			var iterTrace func(lambda, value numeric.Rat)
-			if trace != nil {
+			if trace != nil || sspan != nil {
 				iterTrace = func(lambda, value numeric.Rat) {
-					trace(TraceEvent{Kind: TraceDinkelbachIter, Stage: stage, Remaining: len(remaining), Lambda: lambda, Value: value})
+					if trace != nil {
+						trace(TraceEvent{Kind: TraceDinkelbachIter, Stage: stage, Remaining: len(remaining), Lambda: lambda, Value: value})
+					}
+					if sspan != nil {
+						sspan.AddInt("iters", 1)
+						sspan.AddEvent("dinkelbach_iter", "lambda", lambda.String(), "value", value.String())
+					}
 				}
 			}
-			alpha, bLocal, err := maxBottleneck(ctx, sub, oracle, iterTrace)
+			alpha, bLocal, err := maxBottleneck(sctx, sub, oracle, iterTrace)
 			if err != nil {
+				sspan.End()
 				return nil, err
 			}
 			cLocal := sub.NeighborhoodSet(bLocal)
@@ -128,6 +148,11 @@ func decomposeInner(ctx context.Context, g *graph.Graph, engine Engine, trace Tr
 				Alpha: alpha,
 			}
 			d.Pairs = append(d.Pairs, pair)
+			if sspan != nil {
+				sspan.SetAttr("alpha", alpha.String())
+				sspan.AddInt("pair_size", int64(len(pair.B)+len(pair.C)))
+			}
+			sspan.End()
 			if trace != nil {
 				trace(TraceEvent{Kind: TraceStageExtracted, Stage: stage, Remaining: len(remaining), Pair: &pair})
 			}
@@ -252,7 +277,7 @@ func insertSortedInt(s []int, x int) []int {
 // its ratio, without running the full decomposition. The graph must have
 // positive total weight.
 func MaxBottleneck(g *graph.Graph, engine Engine) (B []int, alpha numeric.Rat, err error) {
-	oracle, err := oracleFor(g, engine)
+	oracle, err := oracleFor(context.Background(), g, engine)
 	if err != nil {
 		return nil, numeric.Rat{}, err
 	}
@@ -269,15 +294,18 @@ func mapBack(local []int, orig []int) []int {
 	return out
 }
 
-func oracleFor(sub *graph.Graph, engine Engine) (minimizeOracle, error) {
+// oracleFor selects the λ-subproblem solver. The context only carries the
+// current obs span (for the flow oracle's per-solve child spans); it is not
+// consulted for cancellation here.
+func oracleFor(ctx context.Context, sub *graph.Graph, engine Engine) (minimizeOracle, error) {
 	switch engine {
 	case EngineAuto:
 		if o, err := newDPOracle(sub); err == nil {
 			return o, nil
 		}
-		return flowOracle{g: sub}, nil
+		return flowOracle{g: sub, ctx: ctx}, nil
 	case EngineFlow:
-		return flowOracle{g: sub}, nil
+		return flowOracle{g: sub, ctx: ctx}, nil
 	case EnginePathDP:
 		return newDPOracle(sub)
 	case EngineBrute:

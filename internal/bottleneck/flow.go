@@ -1,6 +1,8 @@
 package bottleneck
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/maxflow"
 	"repro/internal/numeric"
@@ -20,6 +22,18 @@ import (
 type flowOracle struct {
 	g    *graph.Graph
 	algo maxflow.Algorithm
+	// ctx carries the obs span of the enclosing decomposition stage, if
+	// any, so each max-flow solve is recorded as a child span. The oracle
+	// interface is ctx-free (Dinkelbach checks cancellation between
+	// iterations itself), hence the stored context.
+	ctx context.Context
+}
+
+func (o flowOracle) solveCtx() context.Context {
+	if o.ctx != nil {
+		return o.ctx
+	}
+	return context.Background()
 }
 
 // solve builds and solves the λ-network, returning the subproblem value and
@@ -35,7 +49,7 @@ func (o flowOracle) solve(lambda numeric.Rat) (numeric.Rat, []int) {
 			nw.AddEdge(v, n+u, maxflow.Inf)
 		}
 	}
-	flowVal := nw.Solve(o.algo)
+	flowVal := nw.SolveCtx(o.solveCtx(), o.algo)
 	val := flowVal.Sub(lambda.Mul(o.g.TotalWeight()))
 	side := nw.MinCutSourceSide(true)
 	var S []int

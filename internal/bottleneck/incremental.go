@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 )
 
 // SplitSolver is an incremental decomposition engine for the split paths of
@@ -143,6 +144,8 @@ func (s *SplitSolver) Eval(p *graph.Graph, w1, w2 numeric.Rat) (*Decomposition, 
 // exactly as a never-started one would, and concurrent evaluations are
 // unaffected.
 func (s *SplitSolver) EvalCtx(ctx context.Context, p *graph.Graph, w1, w2 numeric.Rat) (*Decomposition, error) {
+	ctx, span := obs.Start(ctx, "splitsolver.eval")
+	defer span.End()
 	s.mu.Lock()
 	s.stats.Evals++
 	s.mu.Unlock()
@@ -153,6 +156,7 @@ func (s *SplitSolver) EvalCtx(ctx context.Context, p *graph.Graph, w1, w2 numeri
 		s.mu.Lock()
 		s.stats.Fallbacks++
 		s.mu.Unlock()
+		span.AddInt("fallback", 1)
 		return DecomposeCtx(ctx, p, EnginePathDP)
 	}
 
@@ -213,6 +217,7 @@ func (s *SplitSolver) EvalCtx(ctx context.Context, p *graph.Graph, w1, w2 numeri
 		}
 		residual = next
 	}
+	span.AddInt("stages", int64(len(pairs)))
 	d := &Decomposition{Pairs: pairs}
 	if err := d.finish(s.n); err != nil {
 		return nil, err
@@ -223,10 +228,12 @@ func (s *SplitSolver) EvalCtx(ctx context.Context, p *graph.Graph, w1, w2 numeri
 // stage1 finds the maximal bottleneck of the full path with warm-started
 // Dinkelbach over the cached interior transfers.
 func (s *SplitSolver) stage1(ctx context.Context, w1, w2 numeric.Rat) (numeric.Rat, []int, error) {
+	sp := obs.FromContext(ctx)
 	if warm, ok := s.nearestHint(fullPathKey, w1.Float64()); ok && warm.Sign() > 0 && warm.Less(numeric.One) {
 		alpha, B, err := s.dinkelbachFull(ctx, warm, w1, w2, true)
 		if err == nil {
 			s.recordRun(fullPathKey, w1.Float64(), alpha, &s.stats.Stage1Warm)
+			sp.AddInt("stage1_warm", 1)
 			return alpha, B, nil
 		}
 		if err != errWarmTooLow {
@@ -235,6 +242,7 @@ func (s *SplitSolver) stage1(ctx context.Context, w1, w2 numeric.Rat) (numeric.R
 		s.mu.Lock()
 		s.stats.WarmRestarts++
 		s.mu.Unlock()
+		sp.AddInt("warm_restarts", 1)
 	}
 	// Cold start: α(V) = 1 on a path with ≥ 2 vertices and positive
 	// weights (Γ(V) = V), matching maxBottleneck's initial iterate.
@@ -243,12 +251,14 @@ func (s *SplitSolver) stage1(ctx context.Context, w1, w2 numeric.Rat) (numeric.R
 		return numeric.Rat{}, nil, err
 	}
 	s.recordRun(fullPathKey, w1.Float64(), alpha, &s.stats.Stage1Cold)
+	sp.AddInt("stage1_cold", 1)
 	return alpha, B, nil
 }
 
 // dinkelbachFull is the Dinkelbach loop over the full path, with values
 // from cached interior transfers and membership extracted only at λ*.
 func (s *SplitSolver) dinkelbachFull(ctx context.Context, lambda, w1, w2 numeric.Rat, warm bool) (numeric.Rat, []int, error) {
+	sp := obs.FromContext(ctx)
 	for iter := 0; ; iter++ {
 		if err := ctx.Err(); err != nil {
 			return numeric.Rat{}, nil, err
@@ -256,7 +266,8 @@ func (s *SplitSolver) dinkelbachFull(ctx context.Context, lambda, w1, w2 numeric
 		if iter > s.n*s.n+64 {
 			return numeric.Rat{}, nil, fmt.Errorf("bottleneck: incremental Dinkelbach did not converge after %d iterations", iter)
 		}
-		val, wS := s.valueFull(s.transferFor(lambda), lambda, w1, w2)
+		sp.AddInt("iters", 1)
+		val, wS := s.valueFull(s.transferFor(ctx, lambda), lambda, w1, w2)
 		if val.Sign() > 0 {
 			return numeric.Rat{}, nil, fmt.Errorf("bottleneck: incremental subproblem returned positive minimum %v", val)
 		}
@@ -351,6 +362,9 @@ func (s *SplitSolver) laterStage(ctx context.Context, residual []int, w1, w2 num
 	counter := &s.stats.LaterCold
 	if usedWarm {
 		counter = &s.stats.LaterWarm
+		obs.FromContext(ctx).AddInt("later_warm", 1)
+	} else {
+		obs.FromContext(ctx).AddInt("later_cold", 1)
 	}
 	s.recordRun(key, locator, alpha, counter)
 	// C = Γ(B) within the residual: a residual position whose path neighbor
@@ -384,7 +398,11 @@ func (s *SplitSolver) tailFor(ctx context.Context, p *graph.Graph, residual []in
 		s.stats.TailHits++
 	}
 	s.mu.Unlock()
+	if ok {
+		obs.FromContext(ctx).AddInt("tail_hits", 1)
+	}
 	if !ok {
+		obs.FromContext(ctx).AddInt("tail_misses", 1)
 		sub, orig := p.InducedSubgraph(residual)
 		dec, err := DecomposeCtx(ctx, sub, EnginePathDP)
 		if err != nil {
@@ -412,8 +430,9 @@ func (s *SplitSolver) tailFor(ctx context.Context, p *graph.Graph, residual []in
 }
 
 // transferFor returns the interior transfer at λ, building and caching it
-// on first use.
-func (s *SplitSolver) transferFor(lambda numeric.Rat) *interiorTransfer {
+// on first use. The context only carries the obs span the hit/miss is
+// charged to — the prefix-DP reuse signal of the trace.
+func (s *SplitSolver) transferFor(ctx context.Context, lambda numeric.Rat) *interiorTransfer {
 	key := lambda.String()
 	s.mu.Lock()
 	t, ok := s.transfers[key]
@@ -422,6 +441,7 @@ func (s *SplitSolver) transferFor(lambda numeric.Rat) *interiorTransfer {
 	}
 	s.mu.Unlock()
 	if ok {
+		obs.FromContext(ctx).AddInt("transfer_hits", 1)
 		return t
 	}
 	t = s.buildTransfer(lambda)
@@ -433,6 +453,7 @@ func (s *SplitSolver) transferFor(lambda numeric.Rat) *interiorTransfer {
 	}
 	s.stats.TransferMisses++
 	s.mu.Unlock()
+	obs.FromContext(ctx).AddInt("transfer_misses", 1)
 	return t
 }
 

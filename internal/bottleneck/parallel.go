@@ -1,11 +1,14 @@
 package bottleneck
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/graph"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -25,21 +28,34 @@ import (
 // DecomposeWith; its value is on the disconnected graphs the Sybil analysis
 // mass-produces (every two-attacker split of a ring is two disjoint paths).
 func DecomposeParallel(g *graph.Graph, engine Engine, workers int) (*Decomposition, error) {
+	return DecomposeParallelCtx(context.Background(), g, engine, workers)
+}
+
+// DecomposeParallelCtx is DecomposeParallel with cancellation and tracing:
+// the context reaches every per-component decomposition, and when it
+// carries an obs span the merge is recorded as one span with the component
+// fan-out on it.
+func DecomposeParallelCtx(ctx context.Context, g *graph.Graph, engine Engine, workers int) (*Decomposition, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("bottleneck: empty graph")
 	}
 	comps := g.Components()
 	if len(comps) == 1 {
-		return DecomposeWith(g, engine)
+		return decomposeInner(ctx, g, engine, nil)
+	}
+	ctx, span := obs.Start(ctx, "bottleneck.decompose_parallel")
+	defer span.End()
+	if span != nil {
+		span.SetAttr("components", strconv.Itoa(len(comps)))
 	}
 	type result struct {
 		dec  *Decomposition
 		orig []int
 		err  error
 	}
-	results := par.Map(len(comps), workers, func(i int) result {
+	results := par.MapCtx(ctx, len(comps), workers, func(ctx context.Context, i int) result {
 		sub, orig := g.InducedSubgraph(comps[i])
-		dec, err := DecomposeWith(sub, engine)
+		dec, err := decomposeInner(ctx, sub, engine, nil)
 		return result{dec: dec, orig: orig, err: err}
 	})
 	// Zero-weight convention pairs (w(B) = 0, the trailing self-pairs of

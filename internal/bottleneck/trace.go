@@ -68,6 +68,13 @@ func (e TraceEvent) String() string {
 // DecomposeTraced is DecomposeWith with an observer: every Dinkelbach
 // iteration and extracted pair is reported through trace. The zero-weight
 // convention pass is silent (it performs no parametric work).
+//
+// Deprecated: the callback hooks are generalized by the internal/obs span
+// recorder — run DecomposeCtx with a context carrying an obs span (e.g. via
+// repro.Decompose with WithRecorder) to get the same per-stage and
+// per-iteration events inside a retrievable span tree. DecomposeTraced
+// remains for callers that want a synchronous callback; both mechanisms can
+// be active at once.
 func DecomposeTraced(g *graph.Graph, engine Engine, trace TraceFunc) (*Decomposition, error) {
 	return decomposeInner(context.Background(), g, engine, trace)
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/bottleneck"
 	"repro/internal/graph"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 )
 
 // Instance is a ring resource-sharing game with a designated manipulative
@@ -92,13 +93,21 @@ type EvalStats struct {
 
 // NewInstance validates g as a ring and precomputes the honest-side data.
 func NewInstance(g *graph.Graph, v int) (*Instance, error) {
+	return NewInstanceCtx(context.Background(), g, v)
+}
+
+// NewInstanceCtx is NewInstance with cancellation and tracing threaded into
+// the honest-side decomposition.
+func NewInstanceCtx(ctx context.Context, g *graph.Graph, v int) (*Instance, error) {
 	if !g.IsRing() {
 		return nil, fmt.Errorf("core: graph is not a ring")
 	}
 	if v < 0 || v >= g.N() {
 		return nil, fmt.Errorf("core: vertex %d out of range", v)
 	}
-	dec, err := bottleneck.Decompose(g)
+	ctx, span := obs.Start(ctx, "core.new_instance")
+	defer span.End()
+	dec, err := bottleneck.DecomposeCtx(ctx, g, bottleneck.EngineAuto)
 	if err != nil {
 		return nil, fmt.Errorf("core: decomposing ring: %w", err)
 	}
@@ -216,6 +225,7 @@ func (in *Instance) EvalPairCtx(ctx context.Context, w1, w2 numeric.Rat) (*PathE
 		in.evalMu.RUnlock()
 		if ok {
 			in.cacheHits.Add(1)
+			obs.FromContext(ctx).AddInt("eval_cache_hits", 1)
 			return ev, nil
 		}
 	}
@@ -232,6 +242,7 @@ func (in *Instance) EvalPairCtx(ctx context.Context, w1, w2 numeric.Rat) (*PathE
 		}
 		in.evalMu.Unlock()
 		in.cacheMisses.Add(1)
+		obs.FromContext(ctx).AddInt("eval_cache_misses", 1)
 	}
 	return ev, nil
 }

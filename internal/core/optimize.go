@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/bottleneck"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -109,10 +111,16 @@ func (in *Instance) Optimize(opts OptimizeOptions) (*OptResult, error) {
 // leaves the Instance's shared caches consistent.
 func (in *Instance) OptimizeCtx(ctx context.Context, opts OptimizeOptions) (*OptResult, error) {
 	opts = opts.withDefaults()
+	ctx, span := obs.Start(ctx, "core.optimize")
+	defer span.End()
+	if span != nil {
+		span.SetAttr("grid", strconv.Itoa(opts.Grid))
+	}
+	res := &OptResult{}
+	defer func() { span.AddInt("evals", int64(res.Evals)) }()
 	in.SetEvalCache(!opts.DisableEvalCache)
 	in.SetIncremental(!opts.DisableIncremental)
 	W := in.W()
-	res := &OptResult{}
 	if W.IsZero() {
 		ev, err := in.EvalSplitCtx(ctx, numeric.Zero)
 		if err != nil {
@@ -129,7 +137,8 @@ func (in *Instance) OptimizeCtx(ctx context.Context, opts OptimizeOptions) (*Opt
 		ev *PathEval
 	}
 	grid := make([]sample, opts.Grid+1)
-	errs := par.Map(len(grid), opts.Workers, func(i int) error {
+	gctx, gspan := obs.Start(ctx, "optimize.grid")
+	errs := par.MapCtx(gctx, len(grid), opts.Workers, func(ctx context.Context, i int) error {
 		w1 := W.MulInt(int64(i)).DivInt(int64(opts.Grid))
 		ev, err := in.EvalSplitCtx(ctx, w1)
 		if err != nil {
@@ -138,6 +147,7 @@ func (in *Instance) OptimizeCtx(ctx context.Context, opts OptimizeOptions) (*Opt
 		grid[i] = sample{w1: w1, ev: ev}
 		return nil
 	})
+	gspan.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -154,6 +164,7 @@ func (in *Instance) OptimizeCtx(ctx context.Context, opts OptimizeOptions) (*Opt
 	// stage analysis) see clean rationals instead of 2^-48 dust.
 	type boundary struct{ lo, hi numeric.Rat }
 	var cuts []boundary
+	bctx, bspan := obs.Start(ctx, "optimize.breakpoints")
 	for i := 0; i+1 < len(grid); i++ {
 		if grid[i].ev.Signature == grid[i+1].ev.Signature {
 			continue
@@ -163,8 +174,9 @@ func (in *Instance) OptimizeCtx(ctx context.Context, opts OptimizeOptions) (*Opt
 		sigHi := grid[i+1].ev.Signature
 		for it := 0; it < opts.BisectIters; it++ {
 			mid := lo.Add(hi).DivInt(2)
-			ev, err := in.EvalSplitCtx(ctx, mid)
+			ev, err := in.EvalSplitCtx(bctx, mid)
 			if err != nil {
+				bspan.End()
 				return nil, err
 			}
 			res.Evals++
@@ -176,8 +188,9 @@ func (in *Instance) OptimizeCtx(ctx context.Context, opts OptimizeOptions) (*Opt
 		}
 		if lo.Less(hi) {
 			cand := numeric.SimplestBetween(lo, hi)
-			ev, err := in.EvalSplitCtx(ctx, cand)
+			ev, err := in.EvalSplitCtx(bctx, cand)
 			if err != nil {
+				bspan.End()
 				return nil, err
 			}
 			res.Evals++
@@ -190,6 +203,8 @@ func (in *Instance) OptimizeCtx(ctx context.Context, opts OptimizeOptions) (*Opt
 		}
 		cuts = append(cuts, boundary{lo: lo, hi: hi})
 	}
+	bspan.AddInt("breakpoints", int64(len(cuts)))
+	bspan.End()
 
 	// Phase 3: assemble pieces [prev.hi, next.lo] and optimize within each.
 	edges := []numeric.Rat{numeric.Zero}
@@ -205,8 +220,10 @@ func (in *Instance) OptimizeCtx(ctx context.Context, opts OptimizeOptions) (*Opt
 	// "arbitrary" optimal pick is the trivial one. An arbitrary equal-value
 	// w1* would send AnalyzeStages on a walk between two optima, where the
 	// per-stage sign lemmas legitimately fail.
-	evHonest, err := in.EvalSplitCtx(ctx, in.W1Zero)
+	pctx, pspan := obs.Start(ctx, "optimize.pieces")
+	evHonest, err := in.EvalSplitCtx(pctx, in.W1Zero)
 	if err != nil {
+		pspan.End()
 		return nil, err
 	}
 	res.Evals++
@@ -217,8 +234,9 @@ func (in *Instance) OptimizeCtx(ctx context.Context, opts OptimizeOptions) (*Opt
 		}
 	}
 	for i := 0; i+1 < len(edges); i += 2 {
-		piece, bestEv, evals, err := in.optimizePiece(ctx, edges[i], edges[i+1], W, opts)
+		piece, bestEv, evals, err := in.optimizePiece(pctx, edges[i], edges[i+1], W, opts)
 		if err != nil {
+			pspan.End()
 			return nil, err
 		}
 		res.Evals += evals
@@ -228,14 +246,17 @@ func (in *Instance) OptimizeCtx(ctx context.Context, opts OptimizeOptions) (*Opt
 	// The breakpoints themselves are legal splits too.
 	for _, c := range cuts {
 		for _, w1 := range []numeric.Rat{c.lo, c.hi} {
-			ev, err := in.EvalSplitCtx(ctx, w1)
+			ev, err := in.EvalSplitCtx(pctx, w1)
 			if err != nil {
+				pspan.End()
 				return nil, err
 			}
 			res.Evals++
 			best(w1, ev)
 		}
 	}
+	pspan.AddInt("pieces", int64(len(res.Pieces)))
+	pspan.End()
 
 	switch {
 	case in.HonestU.Sign() > 0:

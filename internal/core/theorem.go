@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -46,11 +47,17 @@ func VerifyTheorem8(g *graph.Graph, v int, opts OptimizeOptions) (*Verdict, erro
 
 // RingRatio is a convenience wrapper returning only ζ_v.
 func RingRatio(g *graph.Graph, v int, opts OptimizeOptions) (numeric.Rat, error) {
-	in, err := NewInstance(g, v)
+	return RingRatioCtx(context.Background(), g, v, opts)
+}
+
+// RingRatioCtx is RingRatio with cancellation and tracing threaded through
+// instance construction and the split optimization.
+func RingRatioCtx(ctx context.Context, g *graph.Graph, v int, opts OptimizeOptions) (numeric.Rat, error) {
+	in, err := NewInstanceCtx(ctx, g, v)
 	if err != nil {
 		return numeric.Rat{}, err
 	}
-	opt, err := in.Optimize(opts)
+	opt, err := in.OptimizeCtx(ctx, opts)
 	if err != nil {
 		return numeric.Rat{}, err
 	}

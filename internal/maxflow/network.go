@@ -16,9 +16,11 @@
 package maxflow
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/numeric"
+	"repro/internal/obs"
 )
 
 // Cap is an arc capacity: either a finite non-negative rational or +∞.
@@ -74,6 +76,7 @@ type Network struct {
 	arcs   []arc
 	adj    [][]int // arc indices leaving each node
 	solved bool
+	pushes int64 // elementary pushes performed by the last solve
 }
 
 // NewNetwork returns a network with n nodes, source s and sink t.
@@ -140,6 +143,7 @@ func (nw *Network) prepare() {
 		nw.arcs[i].flow = numeric.Zero
 		nw.arcs[i+1].flow = numeric.Zero
 	}
+	nw.pushes = 0
 	nw.solved = true
 }
 
@@ -152,7 +156,13 @@ func (nw *Network) residual(id int) numeric.Rat {
 func (nw *Network) push(id int, f numeric.Rat) {
 	nw.arcs[id].flow = nw.arcs[id].flow.Add(f)
 	nw.arcs[id^1].flow = nw.arcs[id^1].flow.Sub(f)
+	nw.pushes++
 }
+
+// Pushes returns the number of elementary flow pushes performed by the most
+// recent solve — a machine-independent work measure for traces and
+// benchmark tables.
+func (nw *Network) Pushes() int64 { return nw.pushes }
 
 // Algorithm selects a max-flow solver.
 type Algorithm int
@@ -193,6 +203,24 @@ func (nw *Network) Solve(algo Algorithm) numeric.Rat {
 	default:
 		panic(fmt.Sprintf("maxflow: unknown algorithm %d", int(algo)))
 	}
+}
+
+// SolveCtx is Solve with the solve recorded as a span on the context's
+// trace: one "maxflow.solve" span per call, annotated with the algorithm
+// and the network size plus the push count as counters. With no span on
+// the context it is exactly Solve.
+func (nw *Network) SolveCtx(ctx context.Context, algo Algorithm) numeric.Rat {
+	_, sp := obs.Start(ctx, "maxflow.solve")
+	if sp == nil {
+		return nw.Solve(algo)
+	}
+	defer sp.End()
+	sp.SetAttr("algo", algo.String())
+	v := nw.Solve(algo)
+	sp.AddInt("nodes", int64(nw.n))
+	sp.AddInt("arcs", int64(len(nw.arcs)/2))
+	sp.AddInt("pushes", nw.pushes)
+	return v
 }
 
 // CheckConservation verifies flow conservation and capacity constraints

@@ -1,0 +1,89 @@
+package obs_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/bottleneck"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/obs"
+)
+
+// The obs benchmarks quantify the recorder's cost two ways: the raw price
+// of the primitives (Start/End, AddInt) on both the disabled and enabled
+// paths, and the end-to-end price of running an instrumented solver with
+// and without a trace installed. BENCH_obs.json is generated from this
+// file via:
+//
+//	go run ./cmd/benchjson -bench 'Obs' -pkg ./internal/obs -out BENCH_obs.json
+
+// BenchmarkObsStartDisabled measures the no-trace fast path every solver
+// call pays: a context lookup that finds no span and returns nil.
+func BenchmarkObsStartDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := obs.Start(ctx, "bench.span")
+		sp.AddInt("work", 1)
+		sp.End()
+	}
+}
+
+// BenchmarkObsStartEnabled measures a recorded span open/count/close cycle
+// inside a live trace.
+func BenchmarkObsStartEnabled(b *testing.B) {
+	tr := obs.NewTrace("bench")
+	ctx := tr.Context(context.Background())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := obs.Start(ctx, "bench.span")
+		sp.AddInt("work", 1)
+		sp.End()
+	}
+	b.StopTimer()
+	tr.Finish()
+}
+
+// benchRing builds a moderately sized asymmetric ring so the decomposition
+// does real work (flow oracle + Dinkelbach iterations) per benchmark op.
+func benchRing(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	ws := make([]numeric.Rat, n)
+	for v := range ws {
+		ws[v] = numeric.New(int64(1+(v*7)%13), int64(1+v%3))
+	}
+	return graph.Ring(ws)
+}
+
+// BenchmarkObsDecomposeDisabled is the end-to-end baseline: an instrumented
+// solver run with no recorder installed (the production default).
+func BenchmarkObsDecomposeDisabled(b *testing.B) {
+	g := benchRing(b, 64)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bottleneck.DecomposeCtx(ctx, g, bottleneck.EngineAuto); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsDecomposeEnabled is the same solver run with a Capture
+// recorder active; comparing against Disabled gives the tracing overhead.
+func BenchmarkObsDecomposeEnabled(b *testing.B) {
+	g := benchRing(b, 64)
+	rec := &obs.Capture{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := rec.NewTrace("bench.decompose")
+		ctx := tr.Context(context.Background())
+		if _, err := bottleneck.DecomposeCtx(ctx, g, bottleneck.EngineAuto); err != nil {
+			b.Fatal(err)
+		}
+		tr.Finish()
+	}
+}

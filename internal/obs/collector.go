@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CollectorConfig bounds the memory a Collector may hold. Zero values take
+// the defaults noted per field.
+type CollectorConfig struct {
+	// Capacity is the number of finished traces retained in the ring
+	// buffer (default 256). The buffer is the backing store for
+	// /debug/trace?id=; older traces are evicted as new ones finish.
+	Capacity int
+	// Retention expires ring entries by age at lookup time (default 10m).
+	// An expired trace is reported as evicted even if still buffered.
+	Retention time.Duration
+	// MaxSpansPerTrace caps each trace's span count (default 4096);
+	// excess spans are dropped and counted on the trace.
+	MaxSpansPerTrace int
+	// MaxEventsPerSpan caps events per span (default 64).
+	MaxEventsPerSpan int
+}
+
+const (
+	DefaultCapacity  = 256
+	DefaultRetention = 10 * time.Minute
+)
+
+func (c CollectorConfig) withDefaults() CollectorConfig {
+	if c.Capacity <= 0 {
+		c.Capacity = DefaultCapacity
+	}
+	if c.Retention <= 0 {
+		c.Retention = DefaultRetention
+	}
+	if c.MaxSpansPerTrace <= 0 {
+		c.MaxSpansPerTrace = DefaultMaxSpans
+	}
+	if c.MaxEventsPerSpan <= 0 {
+		c.MaxEventsPerSpan = DefaultMaxEvents
+	}
+	return c
+}
+
+// stageStats aggregates one stage's (span name's) durations into a
+// fixed-bucket histogram plus observation count and sum — the shape the
+// Prometheus text writer needs.
+type stageStats struct {
+	buckets []int64 // cumulative at write time; stored as per-bucket here
+	count   int64
+	sumSec  float64
+}
+
+// stageBuckets spans 50µs..5s in roughly 3x steps: decomposition stages on
+// small rings land at the low end, full sweeps at the high end.
+var stageBuckets = []float64{0.00005, 0.00015, 0.0005, 0.0015, 0.005, 0.015, 0.05, 0.15, 0.5, 1.5, 5}
+
+// iterBuckets histograms iterations-per-solve for counters that represent
+// loop trip counts (Dinkelbach iterations, oracle calls).
+var iterBuckets = []float64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
+
+// Collector is the production Recorder: it retains finished traces in a
+// bounded ring buffer (for /debug/trace) and folds every span into
+// per-stage duration histograms, iteration histograms, and counter sums
+// (for /metrics). Safe for concurrent use.
+type Collector struct {
+	cfg    CollectorConfig
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	ring    []*TraceSnapshot // ring buffer, len == cfg.Capacity
+	head    int              // next write position
+	byID    map[uint64]*TraceSnapshot
+	evicted int64 // traces pushed out of the ring or expired at Get
+
+	stages   map[string]*stageStats // span name -> duration histogram
+	iters    map[string]*stageStats // "span/counter" -> iteration histogram
+	counters map[string]int64       // "span/counter" -> running sum
+	finished int64
+}
+
+// NewCollector builds a collector with cfg (zero fields take defaults).
+func NewCollector(cfg CollectorConfig) *Collector {
+	cfg = cfg.withDefaults()
+	return &Collector{
+		cfg:      cfg,
+		ring:     make([]*TraceSnapshot, cfg.Capacity),
+		byID:     make(map[uint64]*TraceSnapshot, cfg.Capacity),
+		stages:   make(map[string]*stageStats),
+		iters:    make(map[string]*stageStats),
+		counters: make(map[string]int64),
+	}
+}
+
+// Config returns the collector's effective (defaulted) configuration.
+func (c *Collector) Config() CollectorConfig { return c.cfg }
+
+// NewTrace implements Recorder. Trace ids start at 1 and are unique for
+// the collector's lifetime, so an evicted id never aliases a live trace.
+func (c *Collector) NewTrace(name string) *Trace {
+	id := c.nextID.Add(1)
+	return newTrace(id, name, c.cfg.MaxSpansPerTrace, c.cfg.MaxEventsPerSpan, c.ingest)
+}
+
+// ingest is the Trace.Finish callback: snapshot, buffer, aggregate.
+func (c *Collector) ingest(t *Trace) {
+	snap := t.Snapshot()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old := c.ring[c.head]; old != nil {
+		delete(c.byID, old.ID)
+		c.evicted++
+	}
+	c.ring[c.head] = snap
+	c.byID[snap.ID] = snap
+	c.head = (c.head + 1) % len(c.ring)
+	c.finished++
+	snap.Root.Walk(func(sp *SpanSnapshot) {
+		st := c.stages[sp.Name]
+		if st == nil {
+			st = &stageStats{buckets: make([]int64, len(stageBuckets))}
+			c.stages[sp.Name] = st
+		}
+		sec := sp.Duration.Seconds()
+		st.count++
+		st.sumSec += sec
+		for i, ub := range stageBuckets {
+			if sec <= ub {
+				st.buckets[i]++
+				break
+			}
+		}
+		for _, cv := range sp.Counters {
+			key := sp.Name + "/" + cv.Key
+			c.counters[key] += cv.Value
+			ih := c.iters[key]
+			if ih == nil {
+				ih = &stageStats{buckets: make([]int64, len(iterBuckets))}
+				c.iters[key] = ih
+			}
+			v := float64(cv.Value)
+			ih.count++
+			ih.sumSec += v
+			for i, ub := range iterBuckets {
+				if v <= ub {
+					ih.buckets[i]++
+					break
+				}
+			}
+		}
+	})
+}
+
+// Get returns the snapshot for id. ok is false when the id was never
+// issued, was evicted from the ring, or has aged past the retention window
+// (expired entries are dropped from the buffer on lookup).
+func (c *Collector) Get(id uint64) (*TraceSnapshot, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap, ok := c.byID[id]
+	if !ok {
+		return nil, false
+	}
+	if time.Since(snap.Start) > c.cfg.Retention {
+		delete(c.byID, id)
+		for i, s := range c.ring {
+			if s == snap {
+				c.ring[i] = nil
+				break
+			}
+		}
+		c.evicted++
+		return nil, false
+	}
+	return snap, true
+}
+
+// Stats reports collector-level gauges for /metrics.
+type Stats struct {
+	Finished int64
+	Buffered int
+	Evicted  int64
+}
+
+// Stats returns the collector's current gauge values.
+func (c *Collector) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Finished: c.finished, Buffered: len(c.byID), Evicted: c.evicted}
+}
+
+// WritePrometheus emits the collector's aggregates in Prometheus text
+// exposition format, all metric names prefixed with prefix (e.g.
+// "irshared_"): per-stage duration histograms, iteration histograms for
+// every span counter, counter sums, and trace gauges. Output is sorted so
+// scrapes are deterministic.
+func (c *Collector) WritePrometheus(w io.Writer, prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP %sstage_seconds Time spent per solver stage (span name).\n", prefix)
+	fmt.Fprintf(w, "# TYPE %sstage_seconds histogram\n", prefix)
+	for _, name := range sortedKeys(c.stages) {
+		st := c.stages[name]
+		cum := int64(0)
+		for i, ub := range stageBuckets {
+			cum += st.buckets[i]
+			fmt.Fprintf(w, "%sstage_seconds_bucket{stage=%q,le=\"%g\"} %d\n", prefix, name, ub, cum)
+		}
+		fmt.Fprintf(w, "%sstage_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", prefix, name, st.count)
+		fmt.Fprintf(w, "%sstage_seconds_sum{stage=%q} %g\n", prefix, name, st.sumSec)
+		fmt.Fprintf(w, "%sstage_seconds_count{stage=%q} %d\n", prefix, name, st.count)
+	}
+
+	fmt.Fprintf(w, "# HELP %sstage_iterations Per-solve distribution of span counters (e.g. Dinkelbach iterations).\n", prefix)
+	fmt.Fprintf(w, "# TYPE %sstage_iterations histogram\n", prefix)
+	for _, key := range sortedKeys(c.iters) {
+		ih := c.iters[key]
+		cum := int64(0)
+		for i, ub := range iterBuckets {
+			cum += ih.buckets[i]
+			fmt.Fprintf(w, "%sstage_iterations_bucket{counter=%q,le=\"%g\"} %d\n", prefix, key, ub, cum)
+		}
+		fmt.Fprintf(w, "%sstage_iterations_bucket{counter=%q,le=\"+Inf\"} %d\n", prefix, key, ih.count)
+		fmt.Fprintf(w, "%sstage_iterations_sum{counter=%q} %g\n", prefix, key, ih.sumSec)
+		fmt.Fprintf(w, "%sstage_iterations_count{counter=%q} %d\n", prefix, key, ih.count)
+	}
+
+	fmt.Fprintf(w, "# HELP %sspan_counter_total Running sums of span counters across all traces.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %sspan_counter_total counter\n", prefix)
+	for _, key := range sortedKeys2(c.counters) {
+		fmt.Fprintf(w, "%sspan_counter_total{counter=%q} %d\n", prefix, key, c.counters[key])
+	}
+
+	fmt.Fprintf(w, "# HELP %straces_finished_total Traces finished and ingested.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %straces_finished_total counter\n", prefix)
+	fmt.Fprintf(w, "%straces_finished_total %d\n", prefix, c.finished)
+	fmt.Fprintf(w, "# HELP %straces_evicted_total Traces evicted from the ring buffer or expired by retention.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %straces_evicted_total counter\n", prefix)
+	fmt.Fprintf(w, "%straces_evicted_total %d\n", prefix, c.evicted)
+	fmt.Fprintf(w, "# HELP %straces_buffered Traces currently retrievable from /debug/trace.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %straces_buffered gauge\n", prefix)
+	fmt.Fprintf(w, "%straces_buffered %d\n", prefix, len(c.byID))
+}
+
+func sortedKeys(m map[string]*stageStats) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys2(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

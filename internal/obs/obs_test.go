@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledPathIsNil(t *testing.T) {
+	ctx := context.Background()
+	if sp := FromContext(ctx); sp != nil {
+		t.Fatalf("FromContext on bare ctx = %v, want nil", sp)
+	}
+	ctx2, sp := Start(ctx, "work")
+	if sp != nil {
+		t.Fatalf("Start on bare ctx returned span %v", sp)
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start on bare ctx should return the same ctx")
+	}
+	// Every method must be a no-op on the nil receiver.
+	sp.End()
+	sp.SetAttr("k", "v")
+	sp.AddInt("n", 3)
+	sp.AddEvent("ev", "a", "b")
+	if got := ContextWithSpan(ctx, nil); got != ctx {
+		t.Fatal("ContextWithSpan(nil) should return the same ctx")
+	}
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := NewTrace("root")
+	ctx := tr.Context(context.Background())
+
+	ctx1, a := Start(ctx, "a")
+	a.SetAttr("engine", "path-dp")
+	a.SetAttr("engine", "flow") // overwrite
+	a.AddInt("iters", 2)
+	a.AddInt("iters", 3)
+	_, b := Start(ctx1, "b")
+	b.AddEvent("iter", "lambda", "1/2")
+	b.End()
+	a.End()
+	_, c := Start(ctx, "c")
+	c.End()
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if snap.Root.Name != "root" || len(snap.Root.Children) != 2 {
+		t.Fatalf("unexpected tree: %+v", snap.Root)
+	}
+	sa := snap.Root.Find("a")
+	if sa == nil || sa.Attr("engine") != "flow" || sa.Counter("iters") != 5 {
+		t.Fatalf("span a wrong: %+v", sa)
+	}
+	sb := sa.Find("b")
+	if sb == nil || len(sb.Events) != 1 || sb.Events[0].Attrs[0].Value != "1/2" {
+		t.Fatalf("span b wrong: %+v", sb)
+	}
+	if snap.Root.Find("c") == nil {
+		t.Fatal("span c missing")
+	}
+	// Snapshot must be JSON-serializable (the /debug/trace body).
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+}
+
+func TestSpanAndEventCaps(t *testing.T) {
+	col := NewCollector(CollectorConfig{Capacity: 4, MaxSpansPerTrace: 3, MaxEventsPerSpan: 2})
+	tr := col.NewTrace("capped")
+	ctx := tr.Context(context.Background())
+	for i := 0; i < 5; i++ {
+		_, sp := Start(ctx, "child")
+		sp.End()
+	}
+	_, _ = Start(ctx, "dropped")
+	root := tr.Root()
+	for i := 0; i < 5; i++ {
+		root.AddEvent("ev")
+	}
+	tr.Finish()
+	snap, ok := col.Get(tr.ID())
+	if !ok {
+		t.Fatal("trace not retrievable")
+	}
+	// Root + 2 children = 3 spans; 3 child starts dropped.
+	if got := len(snap.Root.Children); got != 2 {
+		t.Fatalf("children = %d, want 2", got)
+	}
+	if snap.DroppedSpans != 4 {
+		t.Fatalf("dropped spans = %d, want 4", snap.DroppedSpans)
+	}
+	if len(snap.Root.Events) != 2 || snap.DroppedEvents != 3 {
+		t.Fatalf("events = %d dropped = %d, want 2/3", len(snap.Root.Events), snap.DroppedEvents)
+	}
+}
+
+func TestCollectorRingEviction(t *testing.T) {
+	col := NewCollector(CollectorConfig{Capacity: 2})
+	ids := make([]uint64, 3)
+	for i := range ids {
+		tr := col.NewTrace(fmt.Sprintf("t%d", i))
+		ids[i] = tr.ID()
+		tr.Finish()
+	}
+	if _, ok := col.Get(ids[0]); ok {
+		t.Fatal("oldest trace should have been evicted")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := col.Get(id); !ok {
+			t.Fatalf("trace %d should be retrievable", id)
+		}
+	}
+	st := col.Stats()
+	if st.Finished != 3 || st.Buffered != 2 || st.Evicted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, ok := col.Get(9999); ok {
+		t.Fatal("unknown id should miss")
+	}
+}
+
+func TestCollectorRetentionExpiry(t *testing.T) {
+	col := NewCollector(CollectorConfig{Capacity: 4, Retention: time.Nanosecond})
+	tr := col.NewTrace("old")
+	tr.Finish()
+	time.Sleep(time.Millisecond)
+	if _, ok := col.Get(tr.ID()); ok {
+		t.Fatal("expired trace should be reported evicted")
+	}
+	if st := col.Stats(); st.Evicted != 1 || st.Buffered != 0 {
+		t.Fatalf("stats after expiry = %+v", st)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	col := NewCollector(CollectorConfig{})
+	tr := col.NewTrace("req")
+	ctx := tr.Context(context.Background())
+	_, sp := Start(ctx, "decompose")
+	sp.AddInt("iters", 7)
+	sp.End()
+	tr.Finish()
+
+	var b strings.Builder
+	col.WritePrometheus(&b, "irshared_")
+	out := b.String()
+	for _, want := range []string{
+		`irshared_stage_seconds_count{stage="decompose"} 1`,
+		`irshared_stage_iterations_count{counter="decompose/iters"} 1`,
+		`irshared_span_counter_total{counter="decompose/iters"} 7`,
+		"irshared_traces_finished_total 1",
+		"irshared_traces_buffered 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestCaptureRecorder(t *testing.T) {
+	cap := &Capture{}
+	if cap.Last() != nil {
+		t.Fatal("fresh Capture should have no trace")
+	}
+	tr := cap.NewTrace("solve")
+	_, sp := Start(tr.Context(context.Background()), "stage")
+	sp.End()
+	tr.Finish()
+	snap := cap.Last()
+	if snap == nil || snap.Root.Find("stage") == nil {
+		t.Fatalf("capture missing span tree: %+v", snap)
+	}
+}
+
+// TestConcurrentTracesDoNotInterleave is the recorder-isolation guarantee
+// from the issue: concurrent solves sharing one Collector must never leak
+// spans across traces. Each goroutine tags its spans with its own worker id
+// and then verifies that its finished trace holds exactly its spans.
+// Run under -race (ci.sh does).
+func TestConcurrentTracesDoNotInterleave(t *testing.T) {
+	col := NewCollector(CollectorConfig{Capacity: 64})
+	const workers = 16
+	var wg sync.WaitGroup
+	ids := make([]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tr := col.NewTrace(fmt.Sprintf("req-%d", w))
+			ids[w] = tr.ID()
+			ctx := tr.Context(context.Background())
+			// Fan out inside the trace too, as par.Map does.
+			var inner sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					for i := 0; i < 50; i++ {
+						c, sp := Start(ctx, fmt.Sprintf("stage-%d", w))
+						sp.SetAttr("worker", fmt.Sprint(w))
+						sp.AddInt("n", 1)
+						_, sub := Start(c, fmt.Sprintf("sub-%d", w))
+						sub.End()
+						sp.End()
+					}
+				}()
+			}
+			inner.Wait()
+			tr.Finish()
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		snap, ok := col.Get(ids[w])
+		if !ok {
+			t.Fatalf("trace %d missing", ids[w])
+		}
+		want := fmt.Sprint(w)
+		spans := 0
+		snap.Root.Walk(func(sp *SpanSnapshot) {
+			if sp == snap.Root {
+				return
+			}
+			spans++
+			if !strings.HasSuffix(sp.Name, "-"+want) {
+				t.Fatalf("trace %d contains foreign span %q", w, sp.Name)
+			}
+			if v := sp.Attr("worker"); v != "" && v != want {
+				t.Fatalf("trace %d span has worker attr %q", w, v)
+			}
+		})
+		if spans != 4*50*2 {
+			t.Fatalf("trace %d has %d spans, want %d", w, spans, 4*50*2)
+		}
+	}
+}
+
+func TestFinishIdempotentAndLateSpansDropped(t *testing.T) {
+	col := NewCollector(CollectorConfig{})
+	tr := col.NewTrace("r")
+	tr.Finish()
+	tr.Finish()
+	if st := col.Stats(); st.Finished != 1 {
+		t.Fatalf("double Finish ingested twice: %+v", st)
+	}
+	_, sp := Start(tr.Context(context.Background()), "late")
+	if sp != nil {
+		t.Fatal("span started after Finish should be dropped")
+	}
+}

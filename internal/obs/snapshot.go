@@ -1,0 +1,125 @@
+package obs
+
+import "time"
+
+// TraceSnapshot is the immutable, JSON-serializable form of a finished
+// trace — what /debug/trace returns and what Capture.Last hands to tests.
+type TraceSnapshot struct {
+	ID            uint64        `json:"id"`
+	Name          string        `json:"name"`
+	Start         time.Time     `json:"start"`
+	Duration      time.Duration `json:"duration_ns"`
+	DroppedSpans  int64         `json:"dropped_spans,omitempty"`
+	DroppedEvents int64         `json:"dropped_events,omitempty"`
+	Root          *SpanSnapshot `json:"root"`
+}
+
+// SpanSnapshot is one node of a snapshot's span tree.
+type SpanSnapshot struct {
+	Name     string          `json:"name"`
+	Start    time.Time       `json:"start"`
+	Duration time.Duration   `json:"duration_ns"`
+	Attrs    []Attr          `json:"attrs,omitempty"`
+	Counters []CounterValue  `json:"counters,omitempty"`
+	Events   []EventSnapshot `json:"events,omitempty"`
+	Children []*SpanSnapshot `json:"children,omitempty"`
+}
+
+// CounterValue is one integer counter on a span snapshot.
+type CounterValue struct {
+	Key   string `json:"key"`
+	Value int64  `json:"value"`
+}
+
+// EventSnapshot is one recorded event.
+type EventSnapshot struct {
+	Name  string    `json:"name"`
+	At    time.Time `json:"at"`
+	Attrs []Attr    `json:"attrs,omitempty"`
+}
+
+// Snapshot freezes the trace's current state into an immutable tree. It is
+// normally taken by the recorder at Finish; calling it on a live trace is
+// safe and sees the spans recorded so far. Spans still open get the
+// duration they have accumulated up to now.
+func (t *Trace) Snapshot() *TraceSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := &TraceSnapshot{
+		ID:            t.id,
+		Name:          t.name,
+		Start:         t.start,
+		DroppedSpans:  t.droppedSpans,
+		DroppedEvents: t.droppedEvents,
+		Root:          snapshotSpan(t.root),
+	}
+	snap.Duration = snap.Root.Duration
+	return snap
+}
+
+func snapshotSpan(s *Span) *SpanSnapshot {
+	dur := s.dur
+	if !s.ended {
+		dur = time.Since(s.start)
+	}
+	out := &SpanSnapshot{Name: s.name, Start: s.start, Duration: dur}
+	if len(s.attrs) > 0 {
+		out.Attrs = append([]Attr(nil), s.attrs...)
+	}
+	for _, c := range s.counters {
+		out.Counters = append(out.Counters, CounterValue{Key: c.key, Value: c.val})
+	}
+	for _, ev := range s.events {
+		es := EventSnapshot{Name: ev.Name, At: ev.At}
+		if len(ev.Attrs) > 0 {
+			es.Attrs = append([]Attr(nil), ev.Attrs...)
+		}
+		out.Events = append(out.Events, es)
+	}
+	for _, ch := range s.children {
+		out.Children = append(out.Children, snapshotSpan(ch))
+	}
+	return out
+}
+
+// Walk visits every span of the tree in depth-first pre-order.
+func (s *SpanSnapshot) Walk(fn func(*SpanSnapshot)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	for _, ch := range s.Children {
+		ch.Walk(fn)
+	}
+}
+
+// Find returns the first span named name in pre-order, or nil.
+func (s *SpanSnapshot) Find(name string) *SpanSnapshot {
+	var hit *SpanSnapshot
+	s.Walk(func(n *SpanSnapshot) {
+		if hit == nil && n.Name == name {
+			hit = n
+		}
+	})
+	return hit
+}
+
+// Attr returns the value of the named attribute ("" if absent).
+func (s *SpanSnapshot) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Counter returns the value of the named counter (0 if absent).
+func (s *SpanSnapshot) Counter(key string) int64 {
+	for _, c := range s.Counters {
+		if c.Key == key {
+			return c.Value
+		}
+	}
+	return 0
+}

@@ -10,10 +10,13 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Workers returns the effective worker count for a requested value: n itself
@@ -81,6 +84,33 @@ func Map[R any](n, workers int, fn func(i int) R) []R {
 	out := make([]R, n)
 	ForEach(n, workers, func(i int) {
 		out[i] = fn(i)
+	})
+	return out
+}
+
+// ForEachCtx is ForEach with the caller's context threaded to every
+// invocation. When the context carries an obs span, the fan-out shape is
+// recorded on it (par_items / par_workers counters), so traces show how a
+// parallel phase spread its work; with no span installed the overhead is a
+// single context lookup.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(ctx context.Context, i int)) {
+	if sp := obs.FromContext(ctx); sp != nil && n > 0 {
+		w := Workers(workers)
+		if w > n {
+			w = n
+		}
+		sp.AddInt("par_items", int64(n))
+		sp.AddInt("par_workers", int64(w))
+	}
+	ForEach(n, workers, func(i int) { fn(ctx, i) })
+}
+
+// MapCtx is Map with the caller's context threaded to every invocation,
+// recording the fan-out on the context's obs span as in ForEachCtx.
+func MapCtx[R any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) R) []R {
+	out := make([]R, n)
+	ForEachCtx(ctx, n, workers, func(ctx context.Context, i int) {
+		out[i] = fn(ctx, i)
 	})
 	return out
 }

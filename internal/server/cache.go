@@ -55,20 +55,21 @@ func newInstanceCache(capacity int) *instanceCache {
 }
 
 // entryFor returns the cached entry for key, creating (and, capacity
-// permitting, retaining) it on miss. g is used only on miss; the hit path
-// returns the resident entry so all requests for one instance converge on
-// the same solver state regardless of how their graphs were spelled.
-func (c *instanceCache) entryFor(key string, g *graph.Graph) *cacheEntry {
+// permitting, retaining) it on miss; hit reports whether the entry was
+// already resident. g is used only on miss; the hit path returns the
+// resident entry so all requests for one instance converge on the same
+// solver state regardless of how their graphs were spelled.
+func (c *instanceCache) entryFor(key string, g *graph.Graph) (entry *cacheEntry, hit bool) {
 	if c.cap <= 0 {
 		c.misses.Add(1)
-		return &cacheEntry{key: key, g: g}
+		return &cacheEntry{key: key, g: g}, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits.Add(1)
-		return el.Value.(*cacheEntry)
+		return el.Value.(*cacheEntry), true
 	}
 	c.misses.Add(1)
 	e := &cacheEntry{key: key, g: g}
@@ -79,7 +80,7 @@ func (c *instanceCache) entryFor(key string, g *graph.Graph) *cacheEntry {
 		delete(c.byKey, back.Value.(*cacheEntry).key)
 		c.evictions.Add(1)
 	}
-	return e
+	return e, false
 }
 
 // len returns the resident entry count.
@@ -147,8 +148,9 @@ func (e *cacheEntry) allocation(ctx context.Context, engine bottleneck.Engine) (
 
 // instance returns the entry's core.Instance for agent v, constructing it
 // on first use. The construction decomposes the ring, so it runs outside
-// the entry lock like the other getters.
-func (e *cacheEntry) instance(v int) (*core.Instance, error) {
+// the entry lock like the other getters; ctx carries cancellation and any
+// obs span into the honest-baseline decomposition.
+func (e *cacheEntry) instance(ctx context.Context, v int) (*core.Instance, error) {
 	if v < 0 || v >= e.g.N() {
 		return nil, fmt.Errorf("agent %d out of range [0, %d)", v, e.g.N())
 	}
@@ -158,7 +160,7 @@ func (e *cacheEntry) instance(v int) (*core.Instance, error) {
 		return in, nil
 	}
 	e.mu.Unlock()
-	in, err := core.NewInstance(e.g, v)
+	in, err := core.NewInstanceCtx(ctx, e.g, v)
 	if err != nil {
 		return nil, err
 	}

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -26,9 +28,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError writes the uniform error body.
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, ErrorResponse{Error: msg})
+// writeError writes the uniform error body: a stable machine-readable code
+// plus a human-readable message.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Code: code, Message: msg})
+}
+
+// writeErrorDetail is writeError with underlying error text in Detail.
+func writeErrorDetail(w http.ResponseWriter, status int, code, msg, detail string) {
+	writeJSON(w, status, ErrorResponse{Code: code, Message: msg, Detail: detail})
 }
 
 // writeComputeError maps a computation error to a status: context errors
@@ -36,39 +44,61 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 func writeComputeError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "computation exceeded the request timeout")
+		writeError(w, http.StatusGatewayTimeout, CodeTimeout, "computation exceeded the request timeout")
 	case errors.Is(err, context.Canceled):
-		writeError(w, statusClientClosed, "client canceled")
+		writeError(w, statusClientClosed, CodeClientClosed, "client canceled")
 	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 	}
 }
 
 // decodeBody parses the request body into v, rejecting unknown fields and
 // trailing garbage so schema drift fails loudly on the client side too.
+// When the request is traced, the parse is recorded as a "server.decode"
+// stage span.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	_, sp := obs.Start(r.Context(), "server.decode")
+	defer sp.End()
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		writeErrorDetail(w, http.StatusBadRequest, CodeBadBody, "invalid request body", err.Error())
 		return false
 	}
 	if dec.More() {
-		writeError(w, http.StatusBadRequest, "invalid request body: trailing data")
+		writeErrorDetail(w, http.StatusBadRequest, CodeBadBody, "invalid request body", "trailing data")
 		return false
 	}
 	return true
 }
 
+// writeResult writes a success body, recorded as the request's
+// "server.write" stage span when traced.
+func writeResult(w http.ResponseWriter, r *http.Request, v any) {
+	_, sp := obs.Start(r.Context(), "server.write")
+	writeJSON(w, http.StatusOK, v)
+	sp.End()
+}
+
 // entryForWire builds the graph from its wire form and resolves the cache
-// entry for its canonical key.
-func (s *Server) entryForWire(w http.ResponseWriter, wg *WireGraph) (*cacheEntry, bool) {
+// entry for its canonical key, recording the hit/miss both on the request's
+// span and in the per-endpoint cache metrics.
+func (s *Server) entryForWire(w http.ResponseWriter, r *http.Request, wg *WireGraph) (*cacheEntry, bool) {
 	g, err := wg.Build()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, CodeBadGraph, err.Error())
 		return nil, false
 	}
-	return s.cache.entryFor(CanonicalKey(g), g), true
+	entry, hit := s.cache.entryFor(CanonicalKey(g), g)
+	s.metrics.cacheLookup(r.URL.Path, hit)
+	if sp := obs.FromContext(r.Context()); sp != nil {
+		if hit {
+			sp.AddInt("cache_hit", 1)
+		} else {
+			sp.AddInt("cache_miss", 1)
+		}
+	}
+	return entry, true
 }
 
 func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
@@ -78,10 +108,10 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	}
 	engine, err := parseEngine(req.Engine)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, CodeBadEngine, err.Error())
 		return
 	}
-	entry, ok := s.entryForWire(w, &req.Graph)
+	entry, ok := s.entryForWire(w, r, &req.Graph)
 	if !ok {
 		return
 	}
@@ -90,7 +120,9 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	d, err := entry.decomposition(ctx, engine)
+	cctx, csp := obs.Start(ctx, "server.compute")
+	d, err := entry.decomposition(cctx, engine)
+	csp.End()
 	if err != nil {
 		writeComputeError(w, r, err)
 		return
@@ -113,7 +145,7 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 			Utility: EncodeRat(d.Utility(entry.g, v)),
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeResult(w, r, resp)
 }
 
 func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
@@ -123,10 +155,10 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	}
 	engine, err := parseEngine(req.Engine)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, CodeBadEngine, err.Error())
 		return
 	}
-	entry, ok := s.entryForWire(w, &req.Graph)
+	entry, ok := s.entryForWire(w, r, &req.Graph)
 	if !ok {
 		return
 	}
@@ -135,7 +167,9 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	a, err := entry.allocation(ctx, engine)
+	cctx, csp := obs.Start(ctx, "server.compute")
+	a, err := entry.allocation(cctx, engine)
+	csp.End()
 	if err != nil {
 		writeComputeError(w, r, err)
 		return
@@ -152,7 +186,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	for v := 0; v < entry.g.N(); v++ {
 		resp.Utilities[v] = EncodeRat(a.Utility(v))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeResult(w, r, resp)
 }
 
 // sortTransfers orders by (from, to) so the wire format is deterministic.
@@ -171,10 +205,10 @@ func (s *Server) handleUtilities(w http.ResponseWriter, r *http.Request) {
 	}
 	engine, err := parseEngine(req.Engine)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, CodeBadEngine, err.Error())
 		return
 	}
-	entry, ok := s.entryForWire(w, &req.Graph)
+	entry, ok := s.entryForWire(w, r, &req.Graph)
 	if !ok {
 		return
 	}
@@ -183,7 +217,9 @@ func (s *Server) handleUtilities(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	d, err := entry.decomposition(ctx, engine)
+	cctx, csp := obs.Start(ctx, "server.compute")
+	d, err := entry.decomposition(cctx, engine)
+	csp.End()
 	if err != nil {
 		writeComputeError(w, r, err)
 		return
@@ -193,7 +229,7 @@ func (s *Server) handleUtilities(w http.ResponseWriter, r *http.Request) {
 	for _, u := range us {
 		total = total.Add(u)
 	}
-	writeJSON(w, http.StatusOK, UtilitiesResponse{
+	writeResult(w, r, UtilitiesResponse{
 		Utilities:   encodeRats(us),
 		Total:       EncodeRat(total),
 		TotalWeight: EncodeRat(entry.g.TotalWeight()),
@@ -206,19 +242,19 @@ func (s *Server) handleRatio(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Grid < 0 || req.Grid > 4096 {
-		writeError(w, http.StatusBadRequest, "grid outside [0, 4096]")
+		writeError(w, http.StatusBadRequest, CodeBadGrid, "grid outside [0, 4096]")
 		return
 	}
-	entry, ok := s.entryForWire(w, &req.Graph)
+	entry, ok := s.entryForWire(w, r, &req.Graph)
 	if !ok {
 		return
 	}
 	if !entry.g.IsRing() {
-		writeError(w, http.StatusBadRequest, "ratio requires a ring graph")
+		writeError(w, http.StatusBadRequest, CodeNotRing, "ratio requires a ring graph")
 		return
 	}
 	if req.V < 0 || req.V >= entry.g.N() {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("agent %d out of range [0, %d)", req.V, entry.g.N()))
+		writeError(w, http.StatusBadRequest, CodeBadAgent, fmt.Sprintf("agent %d out of range [0, %d)", req.V, entry.g.N()))
 		return
 	}
 	ctx, release, ok := s.admit(w, r)
@@ -228,25 +264,54 @@ func (s *Server) handleRatio(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	// Micro-batch: concurrent ratio requests for the same (instance, agent,
 	// grid) share one optimizer run over the entry's shared solver state.
+	// The computation runs detached from any single request (computeBase),
+	// so its solver spans cannot hang off a request's trace; instead the
+	// batch opens its own collector trace and every participant's compute
+	// span records that trace's id plus whether it joined or opened the run.
+	cctx, csp := obs.Start(ctx, "server.compute")
 	key := fmt.Sprintf("%s|v=%d|grid=%d", entry.key, req.V, req.Grid)
-	val, _, err := s.batch.do(ctx, key, s.computeBase, func(runCtx context.Context) (any, error) {
-		in, err := entry.instance(req.V)
+	val, joined, err := s.batch.do(cctx, key, s.computeBase, func(runCtx context.Context) (any, error) {
+		var batchTrace uint64
+		if s.collector != nil {
+			tr := s.collector.NewTrace("/v1/ratio#compute")
+			batchTrace = tr.ID()
+			runCtx = tr.Context(runCtx)
+			defer tr.Finish()
+		}
+		in, err := entry.instance(runCtx, req.V)
 		if err != nil {
 			return nil, err
 		}
-		return in.OptimizeCtx(runCtx, core.OptimizeOptions{Grid: req.Grid})
+		opt, err := in.OptimizeCtx(runCtx, core.OptimizeOptions{Grid: req.Grid})
+		if err != nil {
+			return nil, err
+		}
+		return ratioBatchResult{opt: opt, trace: batchTrace}, nil
 	})
+	if csp != nil {
+		if joined {
+			csp.AddInt("batch_joined", 1)
+		} else {
+			csp.AddInt("batch_opened", 1)
+		}
+		if err == nil {
+			if rb := val.(ratioBatchResult); rb.trace != 0 {
+				csp.SetAttr("batch_trace", strconv.FormatUint(rb.trace, 10))
+			}
+		}
+	}
+	csp.End()
 	if err != nil {
 		writeComputeError(w, r, err)
 		return
 	}
-	opt := val.(*core.OptResult)
-	in, err := entry.instance(req.V) // cached by the batch computation
+	opt := val.(ratioBatchResult).opt
+	in, err := entry.instance(ctx, req.V) // cached by the batch computation
 	if err != nil {
 		writeComputeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, RatioResponse{
+	writeResult(w, r, RatioResponse{
 		Honest: EncodeRat(in.HonestU),
 		BestW1: EncodeRat(opt.BestW1),
 		BestU:  EncodeRat(opt.BestU),
@@ -255,6 +320,14 @@ func (s *Server) handleRatio(w http.ResponseWriter, r *http.Request) {
 		Evals:  opt.Evals,
 		Pieces: len(opt.Pieces),
 	})
+}
+
+// ratioBatchResult is the shared answer of one batched ratio computation:
+// the optimizer result plus the id of the collector trace that recorded the
+// run (0 when tracing is disabled).
+type ratioBatchResult struct {
+	opt   *core.OptResult
+	trace uint64
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -267,19 +340,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		grid = 64
 	}
 	if grid < 0 || grid > 4096 {
-		writeError(w, http.StatusBadRequest, "grid outside [1, 4096]")
+		writeError(w, http.StatusBadRequest, CodeBadGrid, "grid outside [1, 4096]")
 		return
 	}
-	entry, ok := s.entryForWire(w, &req.Graph)
+	entry, ok := s.entryForWire(w, r, &req.Graph)
 	if !ok {
 		return
 	}
 	if !entry.g.IsRing() {
-		writeError(w, http.StatusBadRequest, "sweep requires a ring graph")
+		writeError(w, http.StatusBadRequest, CodeNotRing, "sweep requires a ring graph")
 		return
 	}
 	if req.V < 0 || req.V >= entry.g.N() {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("agent %d out of range [0, %d)", req.V, entry.g.N()))
+		writeError(w, http.StatusBadRequest, CodeBadAgent, fmt.Sprintf("agent %d out of range [0, %d)", req.V, entry.g.N()))
 		return
 	}
 	ctx, release, ok := s.admit(w, r)
@@ -287,12 +360,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	resp, err := s.sweep(ctx, entry, req.V, grid)
+	cctx, csp := obs.Start(ctx, "server.compute")
+	resp, err := s.sweep(cctx, entry, req.V, grid)
+	csp.End()
 	if err != nil {
 		writeComputeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeResult(w, r, resp)
 }
 
 // sweep evaluates the split-utility curve on the entry's cached instance.
@@ -300,7 +375,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // arithmetic) but reuses the entry's core.Instance, so repeated sweeps of
 // one instance pay only cache lookups.
 func (s *Server) sweep(ctx context.Context, entry *cacheEntry, v, grid int) (*SweepResponse, error) {
-	in, err := entry.instance(v)
+	in, err := entry.instance(ctx, v)
 	if err != nil {
 		return nil, err
 	}
@@ -310,7 +385,7 @@ func (s *Server) sweep(ctx context.Context, entry *cacheEntry, v, grid int) (*Sw
 		u  numeric.Rat
 	}
 	pts := make([]point, grid+1)
-	errs := par.Map(len(pts), 0, func(i int) error {
+	errs := par.MapCtx(ctx, len(pts), 0, func(ctx context.Context, i int) error {
 		w1 := W.MulInt(int64(i)).DivInt(int64(grid))
 		ev, err := in.EvalSplitCtx(ctx, w1)
 		if err != nil {

@@ -18,13 +18,19 @@ var latencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 
 // request rates one exact-arithmetic solver process can sustain.
 type metrics struct {
 	mu        sync.Mutex
-	requests  map[statusKey]int64            // requests_total{endpoint,code}
-	histogram map[string]*latencyHistogram   // request_seconds{endpoint}
+	requests  map[statusKey]int64          // requests_total{endpoint,code}
+	histogram map[string]*latencyHistogram // request_seconds{endpoint}
+	cacheReqs map[cacheKey]int64           // cache_requests_total{endpoint,result}
 }
 
 type statusKey struct {
 	endpoint string
 	code     int
+}
+
+type cacheKey struct {
+	endpoint string
+	hit      bool
 }
 
 type latencyHistogram struct {
@@ -37,7 +43,16 @@ func newMetrics() *metrics {
 	return &metrics{
 		requests:  make(map[statusKey]int64),
 		histogram: make(map[string]*latencyHistogram),
+		cacheReqs: make(map[cacheKey]int64),
 	}
+}
+
+// cacheLookup records one instance-cache lookup attributed to an endpoint,
+// feeding the per-endpoint hit-ratio series.
+func (m *metrics) cacheLookup(endpoint string, hit bool) {
+	m.mu.Lock()
+	m.cacheReqs[cacheKey{endpoint, hit}]++
+	m.mu.Unlock()
 }
 
 // observe records one finished request.
@@ -85,6 +100,16 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		eps = append(eps, ep)
 	}
 	sort.Strings(eps)
+	cacheKeys := make([]cacheKey, 0, len(m.cacheReqs))
+	for k := range m.cacheReqs {
+		cacheKeys = append(cacheKeys, k)
+	}
+	sort.Slice(cacheKeys, func(i, j int) bool {
+		if cacheKeys[i].endpoint != cacheKeys[j].endpoint {
+			return cacheKeys[i].endpoint < cacheKeys[j].endpoint
+		}
+		return cacheKeys[i].hit && !cacheKeys[j].hit // hit before miss
+	})
 
 	fmt.Fprint(w, "# HELP irshared_requests_total Requests served, by endpoint and status code.\n# TYPE irshared_requests_total counter\n")
 	for _, k := range reqs {
@@ -101,6 +126,14 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		fmt.Fprintf(w, "irshared_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.total)
 		fmt.Fprintf(w, "irshared_request_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
 		fmt.Fprintf(w, "irshared_request_seconds_count{endpoint=%q} %d\n", ep, h.total)
+	}
+	fmt.Fprint(w, "# HELP irshared_cache_requests_total Instance-cache lookups, by endpoint and result.\n# TYPE irshared_cache_requests_total counter\n")
+	for _, k := range cacheKeys {
+		result := "miss"
+		if k.hit {
+			result = "hit"
+		}
+		fmt.Fprintf(w, "irshared_cache_requests_total{endpoint=%q,result=%q} %d\n", k.endpoint, result, m.cacheReqs[k])
 	}
 	m.mu.Unlock()
 

@@ -4,8 +4,12 @@ import (
 	"context"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -30,6 +34,18 @@ type Config struct {
 	MaxBodyBytes int64
 	// Logger receives structured request logs (default slog.Default()).
 	Logger *slog.Logger
+	// TraceBuffer bounds the number of finished request traces retained for
+	// /debug/trace?id= (default 256; negative disables request tracing —
+	// no per-request span trees, no stage metrics).
+	TraceBuffer int
+	// TraceRetention expires buffered traces by age (default 10m); an
+	// expired id answers 404 like an evicted one.
+	TraceRetention time.Duration
+	// TraceMaxSpans caps the spans recorded per trace (default 4096);
+	// excess spans are dropped and counted on the trace.
+	TraceMaxSpans int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -51,6 +67,18 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = obs.DefaultCapacity
+	}
+	if c.TraceBuffer < 0 {
+		c.TraceBuffer = 0 // tracing disabled
+	}
+	if c.TraceRetention <= 0 {
+		c.TraceRetention = obs.DefaultRetention
+	}
+	if c.TraceMaxSpans <= 0 {
+		c.TraceMaxSpans = obs.DefaultMaxSpans
+	}
 	return c
 }
 
@@ -60,26 +88,40 @@ func (c Config) withDefaults() Config {
 // empties as in-flight requests finish, so shutdown is graceful by
 // construction.
 type Server struct {
-	cfg     Config
-	pool    *par.Limiter
-	cache   *instanceCache
-	batch   *batcher
-	metrics *metrics
-	log     *slog.Logger
+	cfg       Config
+	pool      *par.Limiter
+	cache     *instanceCache
+	batch     *batcher
+	metrics   *metrics
+	collector *obs.Collector // nil when tracing is disabled
+	log       *slog.Logger
 }
 
 // New constructs a Server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	var col *obs.Collector
+	if cfg.TraceBuffer > 0 {
+		col = obs.NewCollector(obs.CollectorConfig{
+			Capacity:         cfg.TraceBuffer,
+			Retention:        cfg.TraceRetention,
+			MaxSpansPerTrace: cfg.TraceMaxSpans,
+		})
+	}
 	return &Server{
-		cfg:     cfg,
-		pool:    par.NewLimiter(cfg.PoolSize),
-		cache:   newInstanceCache(cfg.CacheSize),
-		batch:   newBatcher(cfg.BatchWindow),
-		metrics: newMetrics(),
-		log:     cfg.Logger,
+		cfg:       cfg,
+		pool:      par.NewLimiter(cfg.PoolSize),
+		cache:     newInstanceCache(cfg.CacheSize),
+		batch:     newBatcher(cfg.BatchWindow),
+		metrics:   newMetrics(),
+		collector: col,
+		log:       cfg.Logger,
 	}
 }
+
+// Collector exposes the server's trace collector (nil when tracing is
+// disabled); tests and embedding daemons use it to inspect traces directly.
+func (s *Server) Collector() *obs.Collector { return s.collector }
 
 // Handler returns the service's http.Handler.
 func (s *Server) Handler() http.Handler {
@@ -91,6 +133,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -105,16 +155,30 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with body limits, logging and metrics.
+// instrument wraps a handler with body limits, logging and metrics. For the
+// /v1 compute endpoints it additionally opens a per-request trace in the
+// collector: the handler's decode/admit/compute/write stages and every
+// solver span underneath them land in one tree, retrievable afterwards at
+// /debug/trace?id= using the id echoed in the X-Trace-Id response header.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	traced := s.collector != nil && strings.HasPrefix(endpoint, "/v1/")
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
+		if traced {
+			tr := s.collector.NewTrace(endpoint)
+			w.Header().Set("X-Trace-Id", strconv.FormatUint(tr.ID(), 10))
+			r = r.WithContext(tr.Context(r.Context()))
+			defer tr.Finish()
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		elapsed := time.Since(start)
+		if sp := obs.FromContext(r.Context()); sp != nil {
+			sp.SetAttr("status", strconv.Itoa(sw.code))
+		}
 		s.metrics.observe(endpoint, sw.code, elapsed)
 		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
 			slog.String("endpoint", endpoint),
@@ -130,15 +194,17 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 // returned release must be called when the computation finishes; ok=false
 // means the request was rejected (response already written).
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Context, release func(), ok bool) {
+	_, sp := obs.Start(r.Context(), "server.admit")
 	queueCtx, cancelQueue := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
 	err := s.pool.Acquire(queueCtx)
 	cancelQueue()
+	sp.End()
 	if err != nil {
 		if r.Context().Err() != nil {
 			// Client went away while queued; nothing useful to write.
-			writeError(w, statusClientClosed, "client canceled while queued")
+			writeError(w, statusClientClosed, CodeClientClosed, "client canceled while queued")
 		} else {
-			writeError(w, http.StatusServiceUnavailable, "server busy: no worker slot within queue timeout")
+			writeError(w, http.StatusServiceUnavailable, CodeBusy, "server busy: no worker slot within queue timeout")
 		}
 		return nil, nil, false
 	}
@@ -170,4 +236,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		batchRuns:      s.batch.runs.Load(),
 		batchJoins:     s.batch.joins.Load(),
 	})
+	if s.collector != nil {
+		s.collector.WritePrometheus(w, "irshared_")
+	}
 }

@@ -1,0 +1,265 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// postTraced posts body and returns the status, raw body, and the trace id
+// from the X-Trace-Id response header (0 when absent).
+func postTraced(t *testing.T, base, path string, body any) (int, []byte, uint64) {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	if _, err := raw.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := strconv.ParseUint(resp.Header.Get("X-Trace-Id"), 10, 64)
+	return resp.StatusCode, raw.Bytes(), id
+}
+
+// getTrace fetches /debug/trace?id= and decodes the snapshot on 200.
+func getTrace(t *testing.T, base string, id uint64) (int, *obs.TraceSnapshot) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/debug/trace?id=%d", base, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	var snap obs.TraceSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+	return resp.StatusCode, &snap
+}
+
+// TestRatioRequestTrace is the PR's acceptance criterion: with recording
+// enabled, a /v1/ratio request yields a retrievable span tree whose stage
+// durations account for (within 10%) the request's measured wall time, and
+// whose compute stage links to the batched computation's own trace.
+func TestRatioRequestTrace(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	ring := wireOf(mustRing(t, 15))
+
+	status, raw, id := postTraced(t, ts.URL, "/v1/ratio", RatioRequest{Graph: ring, V: 1, Grid: 16})
+	if status != http.StatusOK {
+		t.Fatalf("ratio status %d: %s", status, raw)
+	}
+	if id == 0 {
+		t.Fatal("no X-Trace-Id header on a traced endpoint")
+	}
+
+	code, snap := getTrace(t, ts.URL, id)
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace?id=%d: status %d", id, code)
+	}
+	if snap.Name != "/v1/ratio" || snap.Root == nil {
+		t.Fatalf("trace name %q root %v", snap.Name, snap.Root)
+	}
+
+	// The root's stage children must cover the request's wall time. The
+	// root span IS the request (opened and finished by instrument), so it
+	// is the noise-free wall-time reference.
+	var stages time.Duration
+	names := map[string]bool{}
+	for _, ch := range snap.Root.Children {
+		stages += ch.Duration
+		names[ch.Name] = true
+	}
+	for _, want := range []string{"server.decode", "server.admit", "server.compute", "server.write"} {
+		if !names[want] {
+			t.Errorf("trace missing stage %q (have %v)", want, names)
+		}
+	}
+	if stages < snap.Root.Duration*9/10 {
+		t.Errorf("stage durations sum to %v, below 90%% of request wall time %v", stages, snap.Root.Duration)
+	}
+	if stages > snap.Root.Duration+snap.Root.Duration/10 {
+		t.Errorf("stage durations sum to %v, above 110%% of request wall time %v", stages, snap.Root.Duration)
+	}
+
+	// The compute stage records which batched computation served it; that
+	// trace is retrievable too and holds the solver span tree.
+	compute := snap.Root.Find("server.compute")
+	if compute.Counter("batch_joined")+compute.Counter("batch_opened") != 1 {
+		t.Fatalf("compute span lacks a batch decision marker: %+v", compute.Counters)
+	}
+	batchID, err := strconv.ParseUint(compute.Attr("batch_trace"), 10, 64)
+	if err != nil {
+		t.Fatalf("compute span batch_trace attr %q: %v", compute.Attr("batch_trace"), err)
+	}
+	bsnap, ok := srv.Collector().Get(batchID)
+	if !ok {
+		t.Fatalf("batch trace %d not retrievable", batchID)
+	}
+	if bsnap.Root.Find("core.optimize") == nil {
+		t.Fatalf("batch trace lacks the optimizer span tree: %v", bsnap.Root)
+	}
+}
+
+// TestTraceEndpointMisses pins the /debug/trace failure modes: unknown and
+// evicted ids 404 with a stable code, garbage ids 400, and a server with
+// tracing disabled answers 404 without minting ids.
+func TestTraceEndpointMisses(t *testing.T) {
+	// Ring capacity 1: the second request evicts the first trace.
+	_, ts := newTestServer(t, Config{TraceBuffer: 1})
+	ring := WireGraph{Ring: []string{"1", "2", "3"}}
+	_, _, id1 := postTraced(t, ts.URL, "/v1/utilities", UtilitiesRequest{Graph: ring})
+	_, _, id2 := postTraced(t, ts.URL, "/v1/utilities", UtilitiesRequest{Graph: ring})
+	if id1 == 0 || id2 == 0 {
+		t.Fatalf("missing trace ids: %d, %d", id1, id2)
+	}
+	if code, _ := getTrace(t, ts.URL, id2); code != http.StatusOK {
+		t.Fatalf("latest trace: status %d", code)
+	}
+	assertErrorCode(t, ts.URL, fmt.Sprintf("/debug/trace?id=%d", id1), http.StatusNotFound, CodeNotFound)
+	assertErrorCode(t, ts.URL, fmt.Sprintf("/debug/trace?id=%d", id2+100), http.StatusNotFound, CodeNotFound)
+	assertErrorCode(t, ts.URL, "/debug/trace?id=bogus", http.StatusBadRequest, CodeBadBody)
+
+	// Tracing disabled: no ids are minted and the endpoint 404s cleanly.
+	_, off := newTestServer(t, Config{TraceBuffer: -1})
+	_, _, id := postTraced(t, off.URL, "/v1/utilities", UtilitiesRequest{Graph: ring})
+	if id != 0 {
+		t.Fatalf("disabled tracing still minted id %d", id)
+	}
+	assertErrorCode(t, off.URL, "/debug/trace?id=1", http.StatusNotFound, CodeNotFound)
+}
+
+// TestTraceRetentionExpiry: a trace older than TraceRetention answers 404.
+func TestTraceRetentionExpiry(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceRetention: time.Nanosecond})
+	ring := WireGraph{Ring: []string{"1", "2", "3"}}
+	_, _, id := postTraced(t, ts.URL, "/v1/utilities", UtilitiesRequest{Graph: ring})
+	if id == 0 {
+		t.Fatal("no trace id")
+	}
+	time.Sleep(time.Millisecond)
+	assertErrorCode(t, ts.URL, fmt.Sprintf("/debug/trace?id=%d", id), http.StatusNotFound, CodeNotFound)
+}
+
+// assertErrorCode GETs path and asserts the structured error body.
+func assertErrorCode(t *testing.T, base, path string, wantStatus int, wantCode string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("GET %s: decode error body: %v", path, err)
+	}
+	if resp.StatusCode != wantStatus || body.Code != wantCode {
+		t.Fatalf("GET %s: status %d code %q, want %d %q (message %q)",
+			path, resp.StatusCode, body.Code, wantStatus, wantCode, body.Message)
+	}
+}
+
+// TestStructuredErrorCodes walks every request-validation failure and pins
+// its machine-readable code.
+func TestStructuredErrorCodes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	ring := WireGraph{Ring: []string{"1", "2", "3"}}
+	path := WireGraph{Path: []string{"1", "2", "3"}}
+	cases := []struct {
+		name     string
+		endpoint string
+		body     any
+		status   int
+		code     string
+	}{
+		{"bad engine", "/v1/decompose", DecomposeRequest{Graph: ring, Engine: "quantum"}, 400, CodeBadEngine},
+		{"bad graph shape", "/v1/decompose", DecomposeRequest{Graph: WireGraph{Ring: []string{"1", "1", "1"}, Path: []string{"1"}}}, 400, CodeBadGraph},
+		{"negative weight", "/v1/utilities", UtilitiesRequest{Graph: WireGraph{Ring: []string{"1", "-2", "3"}}}, 400, CodeBadGraph},
+		{"not ring (ratio)", "/v1/ratio", RatioRequest{Graph: path}, 400, CodeNotRing},
+		{"not ring (sweep)", "/v1/sweep", SweepRequest{Graph: path}, 400, CodeNotRing},
+		{"bad agent (ratio)", "/v1/ratio", RatioRequest{Graph: ring, V: 7}, 400, CodeBadAgent},
+		{"bad agent (sweep)", "/v1/sweep", SweepRequest{Graph: ring, V: -1}, 400, CodeBadAgent},
+		{"bad grid (ratio)", "/v1/ratio", RatioRequest{Graph: ring, Grid: 5000}, 400, CodeBadGrid},
+		{"bad grid (sweep)", "/v1/sweep", SweepRequest{Graph: ring, Grid: -2}, 400, CodeBadGrid},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, raw := postJSON(t, ts.URL, tc.endpoint, tc.body)
+			var body ErrorResponse
+			if err := json.Unmarshal(raw, &body); err != nil {
+				t.Fatalf("decode error body: %v\n%s", err, raw)
+			}
+			if status != tc.status || body.Code != tc.code {
+				t.Fatalf("status %d code %q, want %d %q (%s)", status, body.Code, tc.status, tc.code, raw)
+			}
+			if body.Message == "" {
+				t.Fatal("error message empty")
+			}
+		})
+	}
+	// Malformed JSON carries the decoder detail in Detail.
+	status, raw := postRaw(t, ts.URL+"/v1/decompose", []byte(`{"graph":`))
+	var body ErrorResponse
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("decode error body: %v\n%s", err, raw)
+	}
+	if status != 400 || body.Code != CodeBadBody || body.Detail == "" {
+		t.Fatalf("bad body: status %d code %q detail %q", status, body.Code, body.Detail)
+	}
+}
+
+// TestCacheMetricsByEndpoint asserts the per-endpoint cache hit/miss series
+// and that request spans carry the cache decision.
+func TestCacheMetricsByEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	ring := WireGraph{Ring: []string{"1", "2", "3"}}
+	for i := 0; i < 3; i++ {
+		mustPost(t, ts.URL, "/v1/utilities", UtilitiesRequest{Graph: ring}, &UtilitiesResponse{})
+	}
+	_, _, id := postTraced(t, ts.URL, "/v1/decompose", DecomposeRequest{Graph: ring})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`irshared_cache_requests_total{endpoint="/v1/utilities",result="miss"} 1`,
+		`irshared_cache_requests_total{endpoint="/v1/utilities",result="hit"} 2`,
+		`irshared_cache_requests_total{endpoint="/v1/decompose",result="hit"} 1`,
+		`irshared_stage_seconds_count{stage="/v1/utilities"} 3`,
+		"irshared_traces_finished_total",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+
+	// The decompose request hit the shared entry; its span says so.
+	snap, ok := srv.Collector().Get(id)
+	if !ok {
+		t.Fatalf("trace %d not retrievable", id)
+	}
+	if snap.Root.Counter("cache_hit") != 1 {
+		t.Fatalf("root span cache counters: %+v", snap.Root.Counters)
+	}
+}

@@ -301,7 +301,41 @@ type SweepResponse struct {
 	Ratio  string           `json:"ratio"`
 }
 
-// ErrorResponse is the body of every non-2xx answer.
+// Stable machine-readable error codes. Clients should branch on Code;
+// Message and Detail are human-oriented and may be reworded.
+const (
+	// CodeBadBody: the request body is not valid JSON for the endpoint's
+	// schema (syntax error, unknown field, trailing data).
+	CodeBadBody = "bad_body"
+	// CodeBadEngine: the engine name is not one of auto/flow/path-dp/brute.
+	CodeBadEngine = "bad_engine"
+	// CodeBadGraph: the wire graph fails validation (wrong shape count,
+	// size limits, negative weights, out-of-range edges).
+	CodeBadGraph = "bad_graph"
+	// CodeNotRing: the endpoint requires a ring graph and got something else.
+	CodeNotRing = "not_ring"
+	// CodeBadAgent: the manipulative agent index is out of range.
+	CodeBadAgent = "bad_agent"
+	// CodeBadGrid: the optimizer/sweep grid is outside its allowed range.
+	CodeBadGrid = "bad_grid"
+	// CodeBusy: no worker slot became free within the queue timeout (503).
+	CodeBusy = "busy"
+	// CodeClientClosed: the client went away before the answer (499).
+	CodeClientClosed = "client_closed"
+	// CodeTimeout: the computation exceeded the server-side request timeout.
+	CodeTimeout = "timeout"
+	// CodeInternal: an unexpected computation failure (500).
+	CodeInternal = "internal"
+	// CodeNotFound: the referenced resource (e.g. a trace id) does not
+	// exist, was evicted, or has expired.
+	CodeNotFound = "not_found"
+)
+
+// ErrorResponse is the body of every non-2xx answer: a stable
+// machine-readable Code, a human-readable Message, and an optional Detail
+// carrying underlying error text.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Detail  string `json:"detail,omitempty"`
 }

@@ -1,11 +1,14 @@
 package sybil
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -49,10 +52,23 @@ type SweepResult struct {
 // Dinkelbach, memoized residual tails — is reused across the whole sweep
 // instead of paying a fresh decomposition per point.
 func RingSweep(g *graph.Graph, v int, opts SweepOptions) (*SweepResult, error) {
+	return RingSweepCtx(context.Background(), g, v, opts)
+}
+
+// RingSweepCtx is RingSweep with cancellation and tracing: the context is
+// threaded into every split evaluation, and when it carries an obs span the
+// sweep is recorded as one "sybil.ring_sweep" span with the grid fan-out
+// and per-point evaluations as children.
+func RingSweepCtx(ctx context.Context, g *graph.Graph, v int, opts SweepOptions) (*SweepResult, error) {
 	if opts.Grid <= 0 {
 		opts.Grid = 64
 	}
-	in, err := core.NewInstance(g, v)
+	ctx, span := obs.Start(ctx, "sybil.ring_sweep")
+	defer span.End()
+	if span != nil {
+		span.SetAttr("grid", strconv.Itoa(opts.Grid))
+	}
+	in, err := core.NewInstanceCtx(ctx, g, v)
 	if err != nil {
 		return nil, err
 	}
@@ -60,9 +76,9 @@ func RingSweep(g *graph.Graph, v int, opts SweepOptions) (*SweepResult, error) {
 	in.SetIncremental(!opts.Cold)
 	W := in.W()
 	pts := make([]SweepPoint, opts.Grid+1)
-	errs := par.Map(len(pts), opts.Workers, func(i int) error {
+	errs := par.MapCtx(ctx, len(pts), opts.Workers, func(ctx context.Context, i int) error {
 		w1 := W.MulInt(int64(i)).DivInt(int64(opts.Grid))
-		ev, err := in.EvalSplit(w1)
+		ev, err := in.EvalSplitCtx(ctx, w1)
 		if err != nil {
 			return err
 		}

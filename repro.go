@@ -18,13 +18,16 @@
 //     (NewInstance, IncentiveRatio, VerifyTheorem8, LowerBoundFamily),
 //   - the experiment drivers regenerating every figure (Experiments*).
 //
-// A five-line tour:
+// A five-line tour (the solver entry points are context-first and accept
+// functional options — WithEngine, WithWorkers, WithGrid, WithRecorder,
+// WithDecomposition; see facade.go):
 //
 //	g := repro.Ring(repro.Ints(100, 1, 1, 1, 1, 1, 1, 1, 1))
-//	dec, _ := repro.Decompose(g)                   // bottleneck pairs + α
-//	alloc, _ := repro.Allocate(g, dec)             // equilibrium transfers
-//	ratio, _ := repro.IncentiveRatio(g, 3)         // Sybil gain of agent 3
-//	fmt.Println(dec, alloc.Utility(3), ratio)      // ratio ≤ 2 (Theorem 8)
+//	ctx := context.Background()
+//	dec, _ := repro.Decompose(ctx, g)                      // pairs + α
+//	alloc, _ := repro.Allocate(ctx, g, repro.WithDecomposition(dec))
+//	ratio, _ := repro.IncentiveRatio(ctx, g, 3)            // Sybil gain
+//	fmt.Println(dec, alloc.Utility(3), ratio)              // ratio ≤ 2
 package repro
 
 import (
@@ -91,24 +94,8 @@ const (
 	ClassBoth = bottleneck.ClassBoth
 )
 
-// Decompose computes the bottleneck decomposition of g with the automatic
-// engine (path/cycle DP where possible, parametric max-flow otherwise).
-func Decompose(g *Graph) (*Decomposition, error) { return bottleneck.Decompose(g) }
-
-// DecomposeParallel decomposes each connected component concurrently and
-// merges the pair sequences by α (exact; see internal/bottleneck).
-func DecomposeParallel(g *Graph, workers int) (*Decomposition, error) {
-	return bottleneck.DecomposeParallel(g, bottleneck.EngineAuto, workers)
-}
-
 // Allocation is a resource allocation X = {x_uv}.
 type Allocation = allocation.Allocation
-
-// Allocate runs the BD Allocation Mechanism (Definition 5): the exact
-// equilibrium allocation of the proportional response dynamics.
-func Allocate(g *Graph, d *Decomposition) (*Allocation, error) {
-	return allocation.Compute(g, d)
-}
 
 // DynamicsOptions configures RunDynamics; DynamicsResult is its outcome.
 type (
@@ -228,12 +215,6 @@ type (
 
 // NewInstance validates g as a ring and prepares agent v's attack analysis.
 func NewInstance(g *Graph, v int) (*Instance, error) { return core.NewInstance(g, v) }
-
-// IncentiveRatio returns ζ_v: the agent's best Sybil gain factor on the
-// ring, exactly evaluated (Theorem 8 guarantees ζ_v ≤ 2).
-func IncentiveRatio(g *Graph, v int) (Rat, error) {
-	return core.RingRatio(g, v, core.OptimizeOptions{})
-}
 
 // VerifyTheorem8 optimizes agent v's Sybil split and checks every assertion
 // of the paper's proof along the way.

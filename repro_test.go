@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -8,22 +9,23 @@ import (
 // The facade test exercises the package-level tour end to end; detailed
 // behavior is covered by the internal packages' suites.
 func TestFacadeTour(t *testing.T) {
+	ctx := context.Background()
 	g := Ring(Ints(100, 1, 1, 1, 1, 1, 1, 1, 1))
-	dec, err := Decompose(g)
+	dec, err := Decompose(ctx, g)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dec.ClassOf(0) != ClassB {
 		t.Fatalf("heavy vertex class = %v", dec.ClassOf(0))
 	}
-	alloc, err := Allocate(g, dec)
+	alloc, err := Allocate(ctx, g, WithDecomposition(dec))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !alloc.Utility(0).Equal(dec.Utility(g, 0)) {
 		t.Fatal("allocation utility disagrees with Proposition 6")
 	}
-	ratio, err := IncentiveRatio(g, 3)
+	ratio, err := IncentiveRatio(ctx, g, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func TestFacadeWideSurface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := Decompose(g)
+	ds, err := Decompose(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}

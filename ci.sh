@@ -16,9 +16,24 @@ go test -race ./...
 # run to shake out interleavings the full-suite pass may not hit.
 go test -race -count=2 ./internal/obs ./internal/server
 
+# Resilience: a dedicated -count=2 race pass over the fault-injection
+# registry and the retrying client (deterministic injection counters, the
+# backoff jitter RNG, and SweepAll's resume loop are all concurrency-facing),
+# then a chaos smoke — the binary's -chaos/-chaos-allow gating and a live
+# fault-injected boot via the cmd tests. The full chaos replay (100-instance
+# corpus under faults at every site, client retries converging bit-identically)
+# runs as part of the full-suite pass above.
+go test -race -count=2 ./internal/fault ./client
+go test ./cmd/irshared -run 'TestChaos' -count=1
+
 # Refresh the recorded disabled-vs-enabled tracing overhead numbers.
 go run ./cmd/benchjson -bench 'Obs' -pkg ./internal/obs -out BENCH_obs.json \
 	-note "disabled-vs-enabled recorder overhead: primitives (Start/AddInt/End) and end-to-end DecomposeCtx on a 64-ring"
+
+# Refresh the disabled-injection overhead numbers (fault.Hit in the hot
+# loops with no injector installed must stay within noise of the baseline).
+go run ./cmd/benchjson -bench 'OptimizeSplit$/n=129' -out BENCH_fault.json \
+	-note "disabled-injection overhead check: BenchmarkOptimizeSplit n=129 with fault sites live but no injector installed; compare seed_baseline"
 
 # Fuzz smoke: run each native fuzz target briefly against its seed corpus
 # plus fresh mutations. Parser/codec regressions (panics, unbounded

@@ -1,0 +1,174 @@
+package client
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"reflect"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// chaosRules arms every registered injection site with a finite fault
+// budget: deterministic 1/N triggers (plus one latency rule) whose limits
+// guarantee the budget drains, so retries must converge. Panic rules cover
+// both containment barriers — the handler barrier (server.compute) and the
+// worker/batch barriers (sweep.point, maxflow.push escalation).
+func chaosRules() []fault.Rule {
+	return []fault.Rule{
+		{Site: fault.SiteCacheGet, Kind: fault.KindError, Every: 7, Limit: 25},
+		{Site: fault.SiteServerCompute, Kind: fault.KindError, Every: 9, Limit: 20},
+		{Site: fault.SiteServerCompute, Kind: fault.KindPanic, Every: 23, Limit: 6},
+		{Site: fault.SiteServerBatch, Kind: fault.KindError, Every: 2, Limit: 6},
+		{Site: fault.SiteDinkelbach, Kind: fault.KindError, Every: 50, Limit: 15},
+		{Site: fault.SiteMaxflowPush, Kind: fault.KindError, Every: 400, Limit: 10},
+		{Site: fault.SiteSweepPoint, Kind: fault.KindError, Every: 11, Limit: 15},
+		{Site: fault.SiteSweepPoint, Kind: fault.KindPanic, Every: 131, Limit: 4},
+		{Site: "*", Kind: fault.KindLatency, Every: 100, Latency: 100 * time.Microsecond, Limit: 100},
+	}
+}
+
+// wireOf renders a graph in explicit wire form.
+func wireOf(g *graph.Graph) Graph {
+	ws := make([]string, g.N())
+	for v := 0; v < g.N(); v++ {
+		ws[v] = g.Weight(v).String()
+	}
+	return Graph{N: g.N(), Weights: ws, Edges: g.Edges()}
+}
+
+// TestChaosReplayConvergesBitIdentical replays the 100-instance differential
+// corpus against a server with seeded fault injection armed at every site,
+// through the retrying client. The assertions are the resilience contract:
+//
+//   - the server process never dies (an escaped panic would kill this test
+//     binary — both servers run in-process),
+//   - every request eventually succeeds (the fault budget is finite and
+//     retries advance the hit counters), and
+//   - every answer is bit-identical to the same request against a fault-free
+//     server: injection may delay an answer, never change it.
+func TestChaosReplayConvergesBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos replay is slow")
+	}
+	injector, err := fault.New(20260805, chaosRules()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := newService(t, server.Config{MaxQueueDepth: -1})
+	chaotic := newService(t, server.Config{MaxQueueDepth: -1, Chaos: injector})
+
+	ctx := context.Background()
+	cc := New(clean.URL, WithSeed(1))
+	fc := New(chaotic.URL, WithSeed(99), WithMaxAttempts(30), WithBackoff(time.Millisecond, 4*time.Millisecond))
+
+	// Same corpus as the server's differential suite: seed, sizes, shapes.
+	rng := rand.New(rand.NewSource(20260805))
+	dists := []graph.WeightDist{graph.DistUniform, graph.DistSkewed, graph.DistPowers, graph.DistUnit}
+	const instances = 100
+	for i := 0; i < instances; i++ {
+		n := 3 + rng.Intn(6)
+		dist := dists[i%len(dists)]
+		var g *graph.Graph
+		isRing := false
+		switch i % 3 {
+		case 0:
+			g = graph.RandomRing(rng, n, dist)
+			isRing = true
+		case 1:
+			g = graph.Path(graph.RandomWeights(rng, n, dist))
+		default:
+			g = graph.RandomTree(rng, n, dist)
+		}
+		wg := wireOf(g)
+
+		// Engine flow keeps the max-flow kernels (and their escalated panic
+		// containment) in the replay on every instance.
+		wantDec, err := cc.Decompose(ctx, &DecomposeRequest{Graph: wg, Engine: "flow"})
+		if err != nil {
+			t.Fatalf("instance %d: clean decompose: %v", i, err)
+		}
+		gotDec, err := fc.Decompose(ctx, &DecomposeRequest{Graph: wg, Engine: "flow"})
+		if err != nil {
+			t.Fatalf("instance %d: chaos decompose did not converge: %v", i, err)
+		}
+		if !reflect.DeepEqual(gotDec, wantDec) {
+			t.Fatalf("instance %d: decompose diverged under chaos:\ngot:  %+v\nwant: %+v", i, gotDec, wantDec)
+		}
+
+		wantU, err := cc.Utilities(ctx, &UtilitiesRequest{Graph: wg})
+		if err != nil {
+			t.Fatalf("instance %d: clean utilities: %v", i, err)
+		}
+		gotU, err := fc.Utilities(ctx, &UtilitiesRequest{Graph: wg})
+		if err != nil {
+			t.Fatalf("instance %d: chaos utilities did not converge: %v", i, err)
+		}
+		if !reflect.DeepEqual(gotU, wantU) {
+			t.Fatalf("instance %d: utilities diverged under chaos:\ngot:  %+v\nwant: %+v", i, gotU, wantU)
+		}
+
+		if !isRing {
+			continue
+		}
+		v := rng.Intn(n)
+		const grid = 8
+		wantR, err := cc.Ratio(ctx, &RatioRequest{Graph: wg, V: v, Grid: grid})
+		if err != nil {
+			t.Fatalf("instance %d: clean ratio: %v", i, err)
+		}
+		gotR, err := fc.Ratio(ctx, &RatioRequest{Graph: wg, V: v, Grid: grid})
+		if err != nil {
+			t.Fatalf("instance %d: chaos ratio did not converge: %v", i, err)
+		}
+		if !reflect.DeepEqual(gotR, wantR) {
+			t.Fatalf("instance %d: ratio diverged under chaos:\ngot:  %+v\nwant: %+v", i, gotR, wantR)
+		}
+
+		wantS, err := cc.Sweep(ctx, &SweepRequest{Graph: wg, V: v, Grid: grid})
+		if err != nil {
+			t.Fatalf("instance %d: clean sweep: %v", i, err)
+		}
+		gotS, err := fc.SweepAll(ctx, &SweepRequest{Graph: wg, V: v, Grid: grid})
+		if err != nil {
+			t.Fatalf("instance %d: chaos sweep did not converge: %v", i, err)
+		}
+		if !reflect.DeepEqual(gotS, wantS) {
+			t.Fatalf("instance %d: sweep diverged under chaos:\ngot:  %+v\nwant: %+v", i, gotS, wantS)
+		}
+	}
+
+	// The replay must actually have exercised every site: a silent dead rule
+	// would make the whole suite vacuous.
+	stats := injector.Stats()
+	for _, site := range fault.Sites() {
+		st, ok := stats[site]
+		if !ok || st.Hits == 0 {
+			t.Errorf("site %s was never hit", site)
+		} else if st.Injected == 0 {
+			t.Errorf("site %s was hit %d times but never injected", site, st.Hits)
+		}
+	}
+
+	// And the contained panics must show up in the server's own accounting.
+	resp, err := http.Get(chaotic.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	m := regexp.MustCompile(`(?m)^irshared_panics_total (\d+)$`).FindSubmatch(raw)
+	if m == nil {
+		t.Fatal("no irshared_panics_total in /metrics")
+	}
+	if n, _ := strconv.Atoi(string(m[1])); n == 0 {
+		t.Error("panic rules fired but irshared_panics_total is 0")
+	}
+}

@@ -1,0 +1,176 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scriptedSweep serves a fixed sequence of sweep responses, checking that
+// each request carries the resume token minted by the previous response.
+type scriptedSweep struct {
+	t         *testing.T
+	responses []SweepResponse
+	wantToken []string // expected Resume field per request ("" for the first)
+	calls     int
+}
+
+func (s *scriptedSweep) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.t.Errorf("decode: %v", err)
+	}
+	if s.calls >= len(s.responses) {
+		s.t.Errorf("unexpected request %d", s.calls)
+		http.Error(w, "too many requests", http.StatusInternalServerError)
+		return
+	}
+	if req.Resume != s.wantToken[s.calls] {
+		s.t.Errorf("request %d: resume %q, want %q", s.calls, req.Resume, s.wantToken[s.calls])
+	}
+	resp := s.responses[s.calls]
+	s.calls++
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func TestSweepAllMergesSegments(t *testing.T) {
+	pts := []WireSweepPoint{
+		{W1: "0", U: "1"},
+		{W1: "1/2", U: "3"},
+		{W1: "1", U: "2"},
+		{W1: "3/2", U: "5/2"},
+		{W1: "2", U: "1/2"},
+	}
+	script := &scriptedSweep{
+		t: t,
+		responses: []SweepResponse{
+			{Points: pts[0:2], BestW1: "1/2", BestU: "3", Honest: "2", Ratio: "3/2",
+				Partial: true, StartIndex: 0, NextIndex: 2, ResumeToken: "t1"},
+			{Points: pts[2:4], BestW1: "3/2", BestU: "5/2", Honest: "2", Ratio: "5/4",
+				Partial: true, StartIndex: 2, NextIndex: 4, ResumeToken: "t2"},
+			{Points: pts[4:5], BestW1: "2", BestU: "1/2", Honest: "2", Ratio: "1/4",
+				StartIndex: 4, NextIndex: 5},
+		},
+		wantToken: []string{"", "t1", "t2"},
+	}
+	ts := httptest.NewServer(script)
+	defer ts.Close()
+	c := New(ts.URL, fastBackoff(), WithSeed(1))
+	got, err := c.SweepAll(context.Background(), &SweepRequest{Graph: Graph{Ring: []string{"1", "1", "1"}}, Grid: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if script.calls != 3 {
+		t.Fatalf("made %d requests, want 3", script.calls)
+	}
+	if len(got.Points) != 5 || got.Partial {
+		t.Fatalf("merged: %+v", got)
+	}
+	for i, p := range got.Points {
+		if p != pts[i] {
+			t.Fatalf("point %d: %+v != %+v", i, p, pts[i])
+		}
+	}
+	// Best over ALL segments is u=3 at w1=1/2 (from the first segment, not
+	// the last), and the ratio is recomputed exactly: 3 / 2.
+	if got.BestW1 != "1/2" || got.BestU != "3" || got.Ratio != "3/2" || got.Honest != "2" {
+		t.Fatalf("merged best/ratio wrong: %+v", got)
+	}
+	if got.ResumeToken != "" || got.NextIndex != 0 {
+		t.Fatalf("merged response leaks partial fields: %+v", got)
+	}
+}
+
+func TestSweepAllCompleteFirstTry(t *testing.T) {
+	script := &scriptedSweep{
+		t: t,
+		responses: []SweepResponse{
+			{Points: []WireSweepPoint{{W1: "0", U: "1"}, {W1: "1", U: "2"}},
+				BestW1: "1", BestU: "2", Honest: "1", Ratio: "2"},
+		},
+		wantToken: []string{""},
+	}
+	ts := httptest.NewServer(script)
+	defer ts.Close()
+	c := New(ts.URL, fastBackoff(), WithSeed(1))
+	got, err := c.SweepAll(context.Background(), &SweepRequest{Grid: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if script.calls != 1 || got.Ratio != "2" {
+		t.Fatalf("calls=%d got=%+v", script.calls, got)
+	}
+}
+
+func TestSweepAllStallsOut(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, SweepResponse{
+			Points: []WireSweepPoint{}, Partial: true, StartIndex: 0, NextIndex: 0, ResumeToken: "t"})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, fastBackoff(), WithSeed(1), WithMaxAttempts(3))
+	_, err := c.SweepAll(context.Background(), &SweepRequest{Grid: 4})
+	if err == nil || !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("want stall error, got %v", err)
+	}
+}
+
+func TestSweepAllMissingToken(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, SweepResponse{
+			Points: []WireSweepPoint{{W1: "0", U: "1"}}, Partial: true, NextIndex: 1})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, fastBackoff(), WithSeed(1))
+	_, err := c.SweepAll(context.Background(), &SweepRequest{Grid: 4})
+	if err == nil || !strings.Contains(err.Error(), "resume token") {
+		t.Fatalf("want missing-token error, got %v", err)
+	}
+}
+
+func TestSweepAllDoesNotMutateRequest(t *testing.T) {
+	script := &scriptedSweep{
+		t: t,
+		responses: []SweepResponse{
+			{Points: []WireSweepPoint{{W1: "0", U: "1"}}, Partial: true, NextIndex: 1, ResumeToken: "t1",
+				BestW1: "0", BestU: "1", Honest: "1", Ratio: "1"},
+			{Points: []WireSweepPoint{{W1: "1", U: "2"}}, StartIndex: 1, NextIndex: 2,
+				BestW1: "1", BestU: "2", Honest: "1", Ratio: "2"},
+		},
+		wantToken: []string{"", "t1"},
+	}
+	ts := httptest.NewServer(script)
+	defer ts.Close()
+	c := New(ts.URL, fastBackoff(), WithSeed(1))
+	req := &SweepRequest{Grid: 1}
+	if _, err := c.SweepAll(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Resume != "" {
+		t.Fatalf("SweepAll mutated the request: Resume=%q", req.Resume)
+	}
+}
+
+// TestSweepAllStallBackoffUsesContext pins that the stall path is context-
+// aware: a canceled context aborts the stall sleep promptly.
+func TestSweepAllStallBackoffUsesContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, SweepResponse{Partial: true, ResumeToken: "t"})
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ts.URL, WithBackoff(time.Hour, time.Hour), WithSeed(1),
+		WithRetryHook(func(int, error, time.Duration) { cancel() }))
+	start := time.Now()
+	_, err := c.SweepAll(ctx, &SweepRequest{Grid: 4})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("stall sleep ignored context cancellation")
+	}
+}

@@ -8,6 +8,7 @@
 //	POST /v1/ratio      incentive ratio of one ring agent (batched)
 //	POST /v1/sweep      split-utility curve of one ring agent
 //	GET  /healthz       liveness
+//	GET  /readyz        readiness (429 + Retry-After when the queue is saturated)
 //	GET  /metrics       Prometheus text metrics
 //	GET  /debug/trace   span tree of a finished request (?id= from X-Trace-Id)
 //	GET  /debug/pprof/  runtime profiles (only with -pprof)
@@ -29,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/server"
 )
 
@@ -54,6 +56,10 @@ func run(args []string) error {
 		traceKeep    = fs.Duration("trace-retention", 10*time.Minute, "max age of a retained trace")
 		traceSpans   = fs.Int("trace-max-spans", 4096, "span cap per trace (excess spans are dropped, not buffered)")
 		pprof        = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		maxQueue     = fs.Int("max-queue", 0, "shed load at this many queued requests (0 = 4x pool, -1 disables shedding)")
+		chaosSpec    = fs.String("chaos", "", "fault-injection spec, e.g. 'server.compute=error:0.1;maxflow.push=panic:1/50' (requires -chaos-allow)")
+		chaosAllow   = fs.Bool("chaos-allow", false, "acknowledge that -chaos deliberately breaks requests; refused otherwise")
+		chaosSeed    = fs.Uint64("chaos-seed", 1, "deterministic seed for -chaos injection decisions")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +86,28 @@ func run(args []string) error {
 	if cfgTrace == 0 {
 		cfgTrace = -1
 	}
+
+	// Chaos is strictly opt-in twice over: -chaos names the faults, and
+	// -chaos-allow acknowledges that a production-looking server is about to
+	// fail requests on purpose. One without the other is refused.
+	var injector *fault.Injector
+	if *chaosSpec != "" {
+		if !*chaosAllow {
+			return fmt.Errorf("-chaos requires -chaos-allow (fault injection deliberately fails requests)")
+		}
+		rules, err := fault.Parse(*chaosSpec)
+		if err != nil {
+			return fmt.Errorf("bad -chaos spec: %w", err)
+		}
+		injector, err = fault.New(*chaosSeed, rules...)
+		if err != nil {
+			return fmt.Errorf("bad -chaos spec: %w", err)
+		}
+		logger.Warn("chaos mode: fault injection armed", "spec", *chaosSpec, "seed", *chaosSeed)
+	} else if *chaosAllow {
+		return fmt.Errorf("-chaos-allow given without -chaos")
+	}
+
 	srv := server.New(server.Config{
 		CacheSize:      cfgCache,
 		PoolSize:       *pool,
@@ -91,6 +119,8 @@ func run(args []string) error {
 		TraceRetention: *traceKeep,
 		TraceMaxSpans:  *traceSpans,
 		EnablePprof:    *pprof,
+		MaxQueueDepth:  *maxQueue,
+		Chaos:          injector,
 	})
 
 	httpSrv := &http.Server{

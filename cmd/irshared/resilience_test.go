@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// bootServer starts run() with the given extra flags on a free port and
+// waits for /healthz; it returns the base URL and the run() result channel.
+func bootServer(t *testing.T, extra ...string) (string, chan error) {
+	t.Helper()
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	done := make(chan error, 1)
+	args := append([]string{"-addr", addr, "-log", "json", "-drain", "10s"}, extra...)
+	go func() { done <- run(args) }()
+	base := "http://" + addr
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return base, done
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not come up at %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func drain(t *testing.T, done chan error) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+}
+
+// TestChaosFlagGating pins the double opt-in: -chaos without -chaos-allow is
+// refused (and vice versa), as are malformed specs. All paths fail before
+// binding a listener.
+func TestChaosFlagGating(t *testing.T) {
+	if err := run([]string{"-chaos", "server.compute=error:1"}); err == nil ||
+		!strings.Contains(err.Error(), "chaos-allow") {
+		t.Fatalf("-chaos without -chaos-allow: %v", err)
+	}
+	if err := run([]string{"-chaos-allow"}); err == nil ||
+		!strings.Contains(err.Error(), "-chaos") {
+		t.Fatalf("-chaos-allow without -chaos: %v", err)
+	}
+	if err := run([]string{"-chaos", "no.such.site=error:1", "-chaos-allow"}); err == nil {
+		t.Fatal("unknown injection site accepted")
+	}
+	if err := run([]string{"-chaos", "server.compute=explode:1", "-chaos-allow"}); err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+}
+
+// TestChaosModeInjectsFaults boots with deterministic injection on every
+// second compute admission and checks that requests alternate between
+// injected 503s (with Retry-After) and clean 200s — and that the process
+// itself stays healthy throughout.
+func TestChaosModeInjectsFaults(t *testing.T) {
+	base, done := bootServer(t,
+		"-chaos", "server.compute=error:1/2", "-chaos-allow", "-chaos-seed", "5")
+	var ok200, ok503 int
+	for i := 0; i < 6; i++ {
+		resp, err := http.Post(base+"/v1/decompose", "application/json",
+			strings.NewReader(`{"graph":{"ring":["1","2","3"]}}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok200++
+		case http.StatusServiceUnavailable:
+			ok503++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("injected 503 without Retry-After")
+			}
+			var e struct{ Code string }
+			if err := json.Unmarshal(body, &e); err != nil || e.Code != "busy" {
+				t.Fatalf("injected failure body: %s", body)
+			}
+		default:
+			t.Fatalf("unexpected status %d: %s", resp.StatusCode, body)
+		}
+	}
+	// every=2 fires on hits 2, 4, 6: exactly half the requests.
+	if ok200 != 3 || ok503 != 3 {
+		t.Fatalf("got %d OK / %d injected, want 3/3", ok200, ok503)
+	}
+	hz, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d under chaos", hz.StatusCode)
+	}
+	drain(t, done)
+}
+
+// TestSIGTERMMidBatch delivers SIGTERM while a window-held /v1/ratio batch
+// has participants in flight: every participant must still receive the full
+// 200 answer (graceful drain lets the shared computation finish), the
+// answers must be identical, and no batcher goroutines may leak after the
+// process drains.
+func TestSIGTERMMidBatch(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	base, done := bootServer(t, "-batch-window", "400ms")
+
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr, Timeout: 30 * time.Second}
+
+	const callers = 4
+	type result struct {
+		status int
+		body   string
+		err    error
+	}
+	results := make([]result, callers)
+	var wg sync.WaitGroup
+	body := `{"graph":{"ring":["1","2","3","4","5"]},"v":2,"grid":16}`
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := client.Post(base+"/v1/ratio", "application/json", strings.NewReader(body))
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			results[i] = result{status: resp.StatusCode, body: string(raw)}
+		}(i)
+	}
+
+	// Let the participants join the window-held batch, then pull the plug
+	// while they are all still waiting on it.
+	time.Sleep(150 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("caller %d failed: %v", i, r.err)
+		}
+		if r.status != http.StatusOK {
+			t.Fatalf("caller %d: status %d body %s", i, r.status, r.body)
+		}
+		if r.body != results[0].body {
+			t.Fatalf("caller %d answer differs:\n%s\nvs\n%s", i, r.body, results[0].body)
+		}
+	}
+	var rr struct {
+		LeqTwo bool `json:"leq_two"`
+	}
+	if err := json.Unmarshal([]byte(results[0].body), &rr); err != nil || !rr.LeqTwo {
+		t.Fatalf("batch answer not a ratio response: %s", results[0].body)
+	}
+
+	// The drained process must not leak the batch goroutine (or anything
+	// else): after closing our idle connections the goroutine count has to
+	// come back to (about) the pre-boot baseline.
+	tr.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestMaxQueueFlag boots with a tiny explicit shedding threshold and checks
+// /readyz reports ready on an idle server, proving the flag reaches Config.
+func TestMaxQueueFlag(t *testing.T) {
+	base, done := bootServer(t, "-max-queue", "1")
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), "ready") {
+		t.Fatalf("/readyz: %d %s", resp.StatusCode, raw)
+	}
+	drain(t, done)
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/numeric"
 )
@@ -106,6 +107,9 @@ func maxBottleneckFrom(ctx context.Context, g *graph.Graph, o minimizeOracle, la
 func dinkelbachLoop(ctx context.Context, n int, weightOf func([]int) numeric.Rat, o minimizeOracle, lambda numeric.Rat, warm bool, iterTrace func(lambda, value numeric.Rat)) (numeric.Rat, []int, error) {
 	for iter := 0; ; iter++ {
 		if err := ctx.Err(); err != nil {
+			return numeric.Rat{}, nil, err
+		}
+		if err := fault.Hit(ctx, fault.SiteDinkelbach); err != nil {
 			return numeric.Rat{}, nil, err
 		}
 		if iter > n*n+64 {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/numeric"
 	"repro/internal/obs"
@@ -261,6 +262,9 @@ func (s *SplitSolver) dinkelbachFull(ctx context.Context, lambda, w1, w2 numeric
 	sp := obs.FromContext(ctx)
 	for iter := 0; ; iter++ {
 		if err := ctx.Err(); err != nil {
+			return numeric.Rat{}, nil, err
+		}
+		if err := fault.Hit(ctx, fault.SiteDinkelbach); err != nil {
 			return numeric.Rat{}, nil, err
 		}
 		if iter > s.n*s.n+64 {

@@ -1,0 +1,28 @@
+package fault
+
+import "context"
+
+type ctxKey struct{}
+
+// ContextWith returns a context carrying the injector. A nil injector
+// returns ctx unchanged, keeping the disabled path allocation-free.
+func ContextWith(ctx context.Context, inj *Injector) context.Context {
+	if inj == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, inj)
+}
+
+// FromContext returns the injector installed by ContextWith, or nil. Hot
+// paths call this once per operation and cache the (possibly nil) result.
+func FromContext(ctx context.Context) *Injector {
+	inj, _ := ctx.Value(ctxKey{}).(*Injector)
+	return inj
+}
+
+// Hit is the one-line form solvers thread through loops: one context
+// lookup, then Strike. With no injector installed it costs the Value
+// lookup and returns nil.
+func Hit(ctx context.Context, site string) error {
+	return FromContext(ctx).Strike(site)
+}

@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/numeric"
 	"repro/internal/obs"
 )
@@ -77,6 +78,11 @@ type Network struct {
 	adj    [][]int // arc indices leaving each node
 	solved bool
 	pushes int64 // elementary pushes performed by the last solve
+	// inj is the fault injector cached from SolveCtx's context so the push
+	// hot loop pays one nil check instead of a context lookup per push. A
+	// Network serves one solve at a time (pushes is not atomic), so a plain
+	// field is safe.
+	inj *fault.Injector
 }
 
 // NewNetwork returns a network with n nodes, source s and sink t.
@@ -152,8 +158,14 @@ func (nw *Network) residual(id int) numeric.Rat {
 	return nw.arcs[id].cap.Sub(nw.arcs[id].flow)
 }
 
-// push sends f along arc id (and -f along its reverse).
+// push sends f along arc id (and -f along its reverse). The flow kernels
+// cannot return errors mid-augmentation, so the fault site escalates error
+// injections to panics (StrikePanic); the containment barriers up the stack
+// convert them back into structured errors.
 func (nw *Network) push(id int, f numeric.Rat) {
+	if nw.inj != nil {
+		nw.inj.StrikePanic(fault.SiteMaxflowPush)
+	}
 	nw.arcs[id].flow = nw.arcs[id].flow.Add(f)
 	nw.arcs[id^1].flow = nw.arcs[id^1].flow.Sub(f)
 	nw.pushes++
@@ -207,9 +219,13 @@ func (nw *Network) Solve(algo Algorithm) numeric.Rat {
 
 // SolveCtx is Solve with the solve recorded as a span on the context's
 // trace: one "maxflow.solve" span per call, annotated with the algorithm
-// and the network size plus the push count as counters. With no span on
+// and the network size plus the push count as counters. It also latches the
+// context's fault injector (if any) onto the network for the duration of
+// the solve, arming the maxflow.push site. With no span and no injector on
 // the context it is exactly Solve.
 func (nw *Network) SolveCtx(ctx context.Context, algo Algorithm) numeric.Rat {
+	nw.inj = fault.FromContext(ctx)
+	defer func() { nw.inj = nil }()
 	_, sp := obs.Start(ctx, "maxflow.solve")
 	if sp == nil {
 		return nw.Solve(algo)

@@ -28,9 +28,54 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// PanicError is a contained panic: the original payload plus the stack of
+// the goroutine that panicked, captured at the recover site (the worker's
+// own stack would otherwise be gone by the time the caller sees it).
+// ForEach re-panics with a *PanicError, and Protect returns one, so every
+// containment barrier up the stack sees the same structured value.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: worker panicked: %v", e.Value)
+}
+
+// String makes the re-panicked value print like the historical plain-string
+// payload in crash logs.
+func (e *PanicError) String() string { return e.Error() }
+
+// Protect runs fn, converting a panic into a *PanicError instead of
+// unwinding past the caller. This is the containment barrier used by the
+// server's detached batch goroutine and anything else that must never let
+// one poisoned work item kill the process.
+func Protect(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PanicError); ok {
+				err = pe // already contained once; keep the original stack
+				return
+			}
+			err = &PanicError{Value: r, Stack: stack()}
+		}
+	}()
+	return fn()
+}
+
+// stack captures the current goroutine's stack, bounded so a deep recursion
+// panic cannot balloon an error value.
+func stack() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
+}
+
 // ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
-// (workers ≤ 0 means GOMAXPROCS). It panics with the first worker panic, if
-// any, after all workers have stopped.
+// (workers ≤ 0 means GOMAXPROCS). If any invocation panics, ForEach waits
+// for all workers to stop, then panics with a *PanicError carrying the
+// first panic's payload and the stack of the goroutine that raised it —
+// the worker's stack is gone by then, so it must be captured at the
+// recover site inside the worker.
 func ForEach(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -41,7 +86,7 @@ func ForEach(n, workers int, fn func(i int)) {
 	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			runOne(fn, i)
 		}
 		return
 	}
@@ -49,7 +94,7 @@ func ForEach(n, workers int, fn func(i int)) {
 		next     atomic.Int64
 		wg       sync.WaitGroup
 		panicMu  sync.Mutex
-		panicVal any
+		panicVal *PanicError
 	)
 	for g := 0; g < w; g++ {
 		wg.Add(1)
@@ -57,9 +102,13 @@ func ForEach(n, workers int, fn func(i int)) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
+					pe, ok := r.(*PanicError)
+					if !ok {
+						pe = &PanicError{Value: r, Stack: stack()}
+					}
 					panicMu.Lock()
 					if panicVal == nil {
-						panicVal = r
+						panicVal = pe
 					}
 					panicMu.Unlock()
 				}
@@ -75,8 +124,23 @@ func ForEach(n, workers int, fn func(i int)) {
 	}
 	wg.Wait()
 	if panicVal != nil {
-		panic(fmt.Sprintf("par: worker panicked: %v", panicVal))
+		panic(panicVal)
 	}
+}
+
+// runOne executes one item on the sequential (single-worker) path, wrapping
+// a panic exactly like the parallel path does, so callers see *PanicError
+// regardless of worker count.
+func runOne(fn func(i int), i int) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*PanicError); ok {
+				panic(r)
+			}
+			panic(&PanicError{Value: r, Stack: stack()})
+		}
+	}()
+	fn(i)
 }
 
 // Map applies fn to every index in [0, n) and collects the results in order.

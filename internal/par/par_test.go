@@ -1,6 +1,8 @@
 package par
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -37,13 +39,39 @@ func TestForEachPanicsPropagate(t *testing.T) {
 		if r == nil {
 			t.Fatal("panic not propagated")
 		}
-		if !strings.Contains(r.(string), "boom") {
-			t.Fatalf("unexpected panic payload: %v", r)
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("panic payload is %T, want *PanicError", r)
+		}
+		if pe.Value != "boom" {
+			t.Fatalf("contained value = %v, want boom", pe.Value)
+		}
+		if !strings.Contains(fmt.Sprint(r), "par: worker panicked: boom") {
+			t.Fatalf("payload prints as %q", fmt.Sprint(r))
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "par_test.go") {
+			t.Fatalf("stack not captured at panic site:\n%s", pe.Stack)
 		}
 	}()
 	ForEach(100, 4, func(i int) {
 		if i == 37 {
 			panic("boom")
+		}
+	})
+}
+
+func TestForEachSequentialPanicMatchesParallel(t *testing.T) {
+	// The single-worker fast path must contain panics identically to the
+	// pooled path so callers never branch on worker count.
+	defer func() {
+		pe, ok := recover().(*PanicError)
+		if !ok || pe.Value != "solo" {
+			t.Fatalf("sequential path payload = %#v", pe)
+		}
+	}()
+	ForEach(3, 1, func(i int) {
+		if i == 1 {
+			panic("solo")
 		}
 	})
 }
@@ -86,7 +114,7 @@ func TestMapPanicMidSweep(t *testing.T) {
 		if r == nil {
 			t.Fatal("panic not propagated")
 		}
-		if !strings.Contains(r.(string), "mid-sweep") {
+		if !strings.Contains(fmt.Sprint(r), "mid-sweep") {
 			t.Fatalf("unexpected panic payload: %v", r)
 		}
 	}()
@@ -113,6 +141,39 @@ func TestWorkers(t *testing.T) {
 	}
 	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-1) != runtime.GOMAXPROCS(0) {
 		t.Error("Workers default")
+	}
+}
+
+func TestProtect(t *testing.T) {
+	if err := Protect(func() error { return nil }); err != nil {
+		t.Fatalf("clean fn returned %v", err)
+	}
+	sentinel := errors.New("plain failure")
+	if err := Protect(func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("error passthrough = %v", err)
+	}
+
+	err := Protect(func() error { panic("contained") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic became %T (%v), want *PanicError", err, err)
+	}
+	if pe.Value != "contained" || len(pe.Stack) == 0 {
+		t.Fatalf("contained panic = %+v", pe)
+	}
+
+	// A panic already contained by an inner ForEach must pass through
+	// unchanged, keeping the original worker stack.
+	inner := Protect(func() error {
+		ForEach(10, 4, func(i int) {
+			if i == 5 {
+				panic("nested")
+			}
+		})
+		return nil
+	})
+	if !errors.As(inner, &pe) || pe.Value != "nested" {
+		t.Fatalf("nested containment = %#v", inner)
 	}
 }
 

@@ -2,9 +2,12 @@ package server
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/par"
 )
 
 // batcher micro-batches /v1/ratio work: concurrent requests for the same
@@ -25,6 +28,11 @@ type batcher struct {
 	calls map[string]*batchCall
 
 	runs, joins atomic.Int64
+
+	// onPanic, when set, is called once per panic contained inside a batch
+	// computation (the server wires it to panics_total). The panic itself is
+	// delivered to every participant as a *par.PanicError.
+	onPanic func()
 }
 
 // batchCall is one in-flight shared computation.
@@ -80,7 +88,19 @@ func (b *batcher) run(key string, call *batchCall, runCtx context.Context, compu
 		err error
 	)
 	if err = runCtx.Err(); err == nil {
-		val, err = compute(runCtx)
+		// The computation runs on this detached goroutine: an unrecovered
+		// panic here would kill the process AND leave every participant
+		// blocked on call.done forever. Protect converts it into an error
+		// that flows through the normal completion path below.
+		err = par.Protect(func() error {
+			var cerr error
+			val, cerr = compute(runCtx)
+			return cerr
+		})
+		var pe *par.PanicError
+		if errors.As(err, &pe) && b.onPanic != nil {
+			b.onPanic()
+		}
 	}
 	b.mu.Lock()
 	call.val, call.err = val, err

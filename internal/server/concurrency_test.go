@@ -54,7 +54,7 @@ func TestConcurrentMixedEndpoints(t *testing.T) {
 		want[i] = raw
 	}
 
-	_, warm := newTestServer(t, Config{PoolSize: 4, BatchWindow: time.Millisecond})
+	_, warm := newTestServer(t, Config{PoolSize: 4, BatchWindow: time.Millisecond, MaxQueueDepth: -1})
 	const workers = 24
 	const iters = 12
 	var wgrp sync.WaitGroup
@@ -159,7 +159,7 @@ func TestBatchingJoinsConcurrentRatios(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	g := graph.RandomRing(rng, 40, graph.DistUniform)
 	wg := wireOf(g)
-	srv, ts := newTestServer(t, Config{BatchWindow: 20 * time.Millisecond})
+	srv, ts := newTestServer(t, Config{BatchWindow: 20 * time.Millisecond, MaxQueueDepth: -1})
 
 	const callers = 8
 	bodies := make([][]byte, callers)

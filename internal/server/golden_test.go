@@ -40,6 +40,9 @@ func TestGoldenWireFormat(t *testing.T) {
 		{"error_not_ring", "/v1/ratio", RatioRequest{Graph: WireGraph{Path: []string{"1", "2", "3"}}, V: 0}},
 		{"error_two_shapes", "/v1/decompose", DecomposeRequest{Graph: WireGraph{Ring: []string{"1", "1", "1"}, Path: []string{"1"}}}},
 		{"error_negative_weight", "/v1/utilities", UtilitiesRequest{Graph: WireGraph{Ring: []string{"1", "-2", "3"}}}},
+		{"error_bad_resume", "/v1/sweep", SweepRequest{Graph: ring, V: 2, Grid: 4, Resume: "not-a-token"}},
+		{"error_mismatched_resume", "/v1/sweep", SweepRequest{Graph: ring, V: 2, Grid: 4,
+			Resume: encodeResumeToken(resumeToken{Key: "n3;w1,1,1;e0-1,0-2,1-2", V: 2, Grid: 4, Next: 2})}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

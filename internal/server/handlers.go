@@ -7,11 +7,14 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/numeric"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/sybil"
 )
 
 // statusClientClosed is nginx's convention for "client closed request";
@@ -40,13 +43,25 @@ func writeErrorDetail(w http.ResponseWriter, status int, code, msg, detail strin
 }
 
 // writeComputeError maps a computation error to a status: context errors
-// become timeouts/client-gone, everything else is a plain 500.
+// become timeouts/client-gone; injected faults are transient by definition
+// and map to a retryable 503 + Retry-After so chaos replays converge under
+// client retries; contained panics surface as 500 internal_panic (also
+// retryable — the panic poisoned one computation, not the process);
+// everything else is a plain 500.
 func writeComputeError(w http.ResponseWriter, r *http.Request, err error) {
+	var pe *par.PanicError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, CodeTimeout, "computation exceeded the request timeout")
 	case errors.Is(err, context.Canceled):
 		writeError(w, statusClientClosed, CodeClientClosed, "client canceled")
+	case errors.Is(err, fault.ErrInjected):
+		retryAfter(w, time.Second)
+		writeErrorDetail(w, http.StatusServiceUnavailable, CodeBusy, "transient fault; retry", err.Error())
+	case errors.As(err, &pe):
+		writeErrorDetail(w, http.StatusInternalServerError, CodeInternalPanic,
+			"computation panicked; the panic was contained and the request may be retried",
+			fmt.Sprint(pe.Value))
 	default:
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 	}
@@ -87,6 +102,10 @@ func (s *Server) entryForWire(w http.ResponseWriter, r *http.Request, wg *WireGr
 	g, err := wg.Build()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadGraph, err.Error())
+		return nil, false
+	}
+	if err := fault.Hit(r.Context(), fault.SiteCacheGet); err != nil {
+		writeComputeError(w, r, err)
 		return nil, false
 	}
 	entry, hit := s.cache.entryFor(CanonicalKey(g), g)
@@ -271,6 +290,9 @@ func (s *Server) handleRatio(w http.ResponseWriter, r *http.Request) {
 	cctx, csp := obs.Start(ctx, "server.compute")
 	key := fmt.Sprintf("%s|v=%d|grid=%d", entry.key, req.V, req.Grid)
 	val, joined, err := s.batch.do(cctx, key, s.computeBase, func(runCtx context.Context) (any, error) {
+		if err := fault.Hit(runCtx, fault.SiteServerBatch); err != nil {
+			return nil, err
+		}
 		var batchTrace uint64
 		if s.collector != nil {
 			tr := s.collector.NewTrace("/v1/ratio#compute")
@@ -355,13 +377,31 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadAgent, fmt.Sprintf("agent %d out of range [0, %d)", req.V, entry.g.N()))
 		return
 	}
+	start := 0
+	if req.Resume != "" {
+		tok, err := decodeResumeToken(req.Resume)
+		if err != nil {
+			writeErrorDetail(w, http.StatusBadRequest, CodePartialResult, "invalid resume token", err.Error())
+			return
+		}
+		if tok.Key != entry.key || tok.V != req.V || tok.Grid != grid {
+			writeError(w, http.StatusBadRequest, CodePartialResult,
+				"resume token was minted for a different graph, agent, or grid")
+			return
+		}
+		if tok.Next < 0 || tok.Next > grid {
+			writeError(w, http.StatusBadRequest, CodePartialResult, "resume token index out of range")
+			return
+		}
+		start = tok.Next
+	}
 	ctx, release, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
 	defer release()
 	cctx, csp := obs.Start(ctx, "server.compute")
-	resp, err := s.sweep(cctx, entry, req.V, grid)
+	resp, err := s.sweep(cctx, entry, req.V, grid, start)
 	csp.End()
 	if err != nil {
 		writeComputeError(w, r, err)
@@ -370,52 +410,37 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, r, resp)
 }
 
-// sweep evaluates the split-utility curve on the entry's cached instance.
-// It mirrors sybil.RingSweep point for point (same grid, same exact
-// arithmetic) but reuses the entry's core.Instance, so repeated sweeps of
-// one instance pay only cache lookups.
-func (s *Server) sweep(ctx context.Context, entry *cacheEntry, v, grid int) (*SweepResponse, error) {
+// sweep evaluates the split-utility curve on the entry's cached instance,
+// starting at grid index start (nonzero when resuming from a partial
+// result). It delegates to sybil.SweepInstanceCtx — the same code path as
+// the library sweep, point for point — so API answers stay bit-identical
+// to in-process results, while reusing the entry's core.Instance so
+// repeated sweeps of one instance pay only cache lookups. A sweep cut
+// short by cancellation or the request deadline returns its completed
+// prefix and a resume token instead of an error.
+func (s *Server) sweep(ctx context.Context, entry *cacheEntry, v, grid, start int) (*SweepResponse, error) {
 	in, err := entry.instance(ctx, v)
 	if err != nil {
 		return nil, err
 	}
-	W := in.W()
-	type point struct {
-		w1 numeric.Rat
-		u  numeric.Rat
+	res, err := sybil.SweepInstanceCtx(ctx, in, sybil.SweepOptions{Grid: grid, Start: start})
+	if err != nil {
+		return nil, err
 	}
-	pts := make([]point, grid+1)
-	errs := par.MapCtx(ctx, len(pts), 0, func(ctx context.Context, i int) error {
-		w1 := W.MulInt(int64(i)).DivInt(int64(grid))
-		ev, err := in.EvalSplitCtx(ctx, w1)
-		if err != nil {
-			return err
-		}
-		pts[i] = point{w1: w1, u: ev.U}
-		return nil
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	resp := &SweepResponse{Points: make([]WireSweepPoint, len(res.Points))}
+	for i, p := range res.Points {
+		resp.Points[i] = WireSweepPoint{W1: EncodeRat(p.W1), U: EncodeRat(p.U)}
 	}
-	resp := &SweepResponse{Points: make([]WireSweepPoint, len(pts))}
-	bestW1, bestU := pts[0].w1, pts[0].u
-	for i, p := range pts {
-		resp.Points[i] = WireSweepPoint{W1: EncodeRat(p.w1), U: EncodeRat(p.u)}
-		if bestU.Less(p.u) {
-			bestW1, bestU = p.w1, p.u
-		}
+	resp.BestW1, resp.BestU = EncodeRat(res.BestW1), EncodeRat(res.BestU)
+	resp.Honest = EncodeRat(res.Honest)
+	resp.Ratio = EncodeRat(res.Ratio)
+	if start > 0 || res.Partial {
+		resp.StartIndex = res.Start
+		resp.NextIndex = res.NextIndex
 	}
-	resp.BestW1, resp.BestU = EncodeRat(bestW1), EncodeRat(bestU)
-	resp.Honest = EncodeRat(in.HonestU)
-	switch {
-	case in.HonestU.Sign() > 0:
-		resp.Ratio = EncodeRat(bestU.Div(in.HonestU))
-	case bestU.Sign() > 0:
-		return nil, fmt.Errorf("positive attack utility %v from zero honest utility", bestU)
-	default:
-		resp.Ratio = EncodeRat(numeric.One)
+	if res.Partial {
+		resp.Partial = true
+		resp.ResumeToken = encodeResumeToken(resumeToken{Key: entry.key, V: v, Grid: grid, Next: res.NextIndex})
 	}
 	return resp, nil
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,6 +22,13 @@ type metrics struct {
 	requests  map[statusKey]int64          // requests_total{endpoint,code}
 	histogram map[string]*latencyHistogram // request_seconds{endpoint}
 	cacheReqs map[cacheKey]int64           // cache_requests_total{endpoint,result}
+
+	// panics counts contained panics (handler barrier + batch containment);
+	// shed counts requests rejected by queue-saturation load shedding.
+	// Atomics, not map entries: they are bumped from recovery paths that
+	// should stay as simple as possible.
+	panics atomic.Int64
+	shed   atomic.Int64
 }
 
 type statusKey struct {
@@ -155,4 +163,8 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "irshared_batch_runs_total %d\n", g.batchRuns)
 	fmt.Fprint(w, "# HELP irshared_batch_joins_total Ratio requests that joined an in-flight batch.\n# TYPE irshared_batch_joins_total counter\n")
 	fmt.Fprintf(w, "irshared_batch_joins_total %d\n", g.batchJoins)
+	fmt.Fprint(w, "# HELP irshared_panics_total Panics contained by the recovery barriers.\n# TYPE irshared_panics_total counter\n")
+	fmt.Fprintf(w, "irshared_panics_total %d\n", m.panics.Load())
+	fmt.Fprint(w, "# HELP irshared_shed_total Requests shed by queue-saturation load shedding.\n# TYPE irshared_shed_total counter\n")
+	fmt.Fprintf(w, "irshared_shed_total %d\n", m.shed.Load())
 }

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// resumeToken identifies where a partial sweep stopped: the canonical
+// instance key plus the request's (v, grid) and the next grid index. The
+// token is stateless — the server keeps nothing between the partial
+// response and the resumed request — so validation happens by re-deriving
+// the canonical key from the resumed request's graph and comparing.
+type resumeToken struct {
+	Key  string // CanonicalKey of the instance graph
+	V    int
+	Grid int
+	Next int // first grid index not yet covered
+}
+
+// resumeTokenVersion tags the encoding so a future layout change can
+// reject (rather than misparse) old tokens.
+const resumeTokenVersion = "rs1"
+
+// encodeResumeToken renders the token as URL-safe base64 of
+// "rs1|v|grid|next|canonicalKey". The canonical key goes last because it is
+// the only field that may contain arbitrary separator bytes.
+func encodeResumeToken(t resumeToken) string {
+	raw := fmt.Sprintf("%s|%d|%d|%d|%s", resumeTokenVersion, t.V, t.Grid, t.Next, t.Key)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+// decodeResumeToken parses and structurally validates a wire token. Bounds
+// against the actual request (key/v/grid match, next in range) are the
+// caller's job — they need the request context.
+func decodeResumeToken(s string) (resumeToken, error) {
+	// The request body limit already bounds the token; this cap only guards
+	// direct callers of the codec.
+	if len(s) > 2<<20 {
+		return resumeToken{}, fmt.Errorf("token too long")
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return resumeToken{}, fmt.Errorf("not base64url: %v", err)
+	}
+	parts := strings.SplitN(string(raw), "|", 5)
+	if len(parts) != 5 {
+		return resumeToken{}, fmt.Errorf("wrong field count")
+	}
+	if parts[0] != resumeTokenVersion {
+		return resumeToken{}, fmt.Errorf("unknown token version %q", parts[0])
+	}
+	var t resumeToken
+	if t.V, err = strconv.Atoi(parts[1]); err != nil {
+		return resumeToken{}, fmt.Errorf("bad agent field: %v", err)
+	}
+	if t.Grid, err = strconv.Atoi(parts[2]); err != nil {
+		return resumeToken{}, fmt.Errorf("bad grid field: %v", err)
+	}
+	if t.Next, err = strconv.Atoi(parts[3]); err != nil {
+		return resumeToken{}, fmt.Errorf("bad index field: %v", err)
+	}
+	t.Key = parts[4]
+	return t, nil
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/par"
 )
@@ -46,6 +48,17 @@ type Config struct {
 	TraceMaxSpans int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// MaxQueueDepth sheds load before queueing: when this many requests are
+	// already waiting for a pool slot, new compute requests are rejected
+	// immediately with 429 + Retry-After instead of queueing to a likely
+	// timeout, and /readyz reports not-ready. Default 0 = 4× the pool
+	// capacity; negative disables shedding (queue timeout still applies).
+	MaxQueueDepth int
+	// Chaos installs a fault injector on every request and batch context,
+	// arming the registered injection sites (see internal/fault). nil — the
+	// default — disables injection entirely; cmd/irshared only sets it when
+	// both -chaos and -chaos-allow are given.
+	Chaos *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +92,12 @@ func (c Config) withDefaults() Config {
 	if c.TraceMaxSpans <= 0 {
 		c.TraceMaxSpans = obs.DefaultMaxSpans
 	}
+	if c.MaxQueueDepth == 0 {
+		c.MaxQueueDepth = 4 * par.Workers(c.PoolSize)
+	}
+	if c.MaxQueueDepth < 0 {
+		c.MaxQueueDepth = 0 // shedding disabled
+	}
 	return c
 }
 
@@ -108,7 +127,7 @@ func New(cfg Config) *Server {
 			MaxSpansPerTrace: cfg.TraceMaxSpans,
 		})
 	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		pool:      par.NewLimiter(cfg.PoolSize),
 		cache:     newInstanceCache(cfg.CacheSize),
@@ -117,6 +136,10 @@ func New(cfg Config) *Server {
 		collector: col,
 		log:       cfg.Logger,
 	}
+	// Panics contained inside detached batch computations never reach the
+	// handler barrier, so the batcher reports them for panics_total here.
+	s.batch.onPanic = func() { s.metrics.panics.Add(1) }
+	return s
 }
 
 // Collector exposes the server's trace collector (nil when tracing is
@@ -132,6 +155,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/ratio", s.instrument("/v1/ratio", s.handleRatio))
 	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	if s.cfg.EnablePprof {
@@ -144,15 +168,24 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// statusWriter records the status code for logging and metrics.
+// statusWriter records the status code for logging and metrics, and whether
+// the response has started — the panic barrier may only write an error body
+// if the handler had not begun its (now abandoned) success response.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
 }
 
 // instrument wraps a handler with body limits, logging and metrics. For the
@@ -173,8 +206,11 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			r = r.WithContext(tr.Context(r.Context()))
 			defer tr.Finish()
 		}
+		if s.cfg.Chaos != nil {
+			r = r.WithContext(fault.ContextWith(r.Context(), s.cfg.Chaos))
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r)
+		s.contain(sw, r, h)
 		elapsed := time.Since(start)
 		if sp := obs.FromContext(r.Context()); sp != nil {
 			sp.SetAttr("status", strconv.Itoa(sw.code))
@@ -190,10 +226,71 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	}
 }
 
+// contain runs the handler behind the server's panic barrier: a panic —
+// injected by chaos testing or real — is converted into a 500 with code
+// internal_panic (when the response has not started), counted in
+// panics_total, and recorded as an event on the request's trace span. One
+// poisoned request never takes the process down.
+func (s *Server) contain(sw *statusWriter, r *http.Request, h http.HandlerFunc) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		s.metrics.panics.Add(1)
+		var stack []byte
+		if pe, ok := rec.(*par.PanicError); ok {
+			stack = pe.Stack
+		}
+		if sp := obs.FromContext(r.Context()); sp != nil {
+			sp.AddEvent("panic_contained", "value", fmt.Sprint(rec))
+		}
+		s.log.LogAttrs(r.Context(), slog.LevelError, "panic contained",
+			slog.String("endpoint", r.URL.Path),
+			slog.String("value", fmt.Sprint(rec)),
+			slog.String("stack", string(stack)),
+		)
+		if !sw.wrote {
+			writeErrorDetail(sw, http.StatusInternalServerError, CodeInternalPanic,
+				"computation panicked; the panic was contained and the request may be retried",
+				fmt.Sprint(rec))
+		} else if sw.code < http.StatusBadRequest {
+			// The success response is torn mid-body; reflect that in the
+			// logged/metered status at least.
+			sw.code = http.StatusInternalServerError
+		}
+	}()
+	h(sw, r)
+}
+
+// retryAfter stamps the conventional back-off hint on a shed or busy
+// response; clients (including client.Client) honor it as a floor.
+func retryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// saturated reports whether the pool wait queue is at or beyond the
+// shedding threshold.
+func (s *Server) saturated() bool {
+	return s.cfg.MaxQueueDepth > 0 && s.pool.Waiting() >= s.cfg.MaxQueueDepth
+}
+
 // admit takes a pool slot and a computation context for one request. The
 // returned release must be called when the computation finishes; ok=false
-// means the request was rejected (response already written).
+// means the request was rejected (response already written). Requests
+// arriving while the wait queue is saturated are shed immediately (429 +
+// Retry-After) instead of queueing toward a near-certain timeout.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Context, release func(), ok bool) {
+	if s.saturated() {
+		s.metrics.shed.Add(1)
+		retryAfter(w, time.Second)
+		writeError(w, http.StatusTooManyRequests, CodeOverloaded, "server overloaded: pool wait queue is saturated")
+		return nil, nil, false
+	}
 	_, sp := obs.Start(r.Context(), "server.admit")
 	queueCtx, cancelQueue := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
 	err := s.pool.Acquire(queueCtx)
@@ -204,23 +301,58 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Cont
 			// Client went away while queued; nothing useful to write.
 			writeError(w, statusClientClosed, CodeClientClosed, "client canceled while queued")
 		} else {
+			retryAfter(w, s.cfg.QueueTimeout)
 			writeError(w, http.StatusServiceUnavailable, CodeBusy, "server busy: no worker slot within queue timeout")
 		}
 		return nil, nil, false
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	return ctx, func() { cancel(); s.pool.Release() }, true
+	release = func() { cancel(); s.pool.Release() }
+	// The injection hit below may panic (KindPanic chaos rules). At this
+	// point the slot is held but the handler's defer release() does not exist
+	// yet, so an escaping panic would leak the slot and eventually deadlock
+	// the pool. Release on the way out, then rethrow to the barrier.
+	defer func() {
+		if rec := recover(); rec != nil {
+			release()
+			panic(rec)
+		}
+	}()
+	if err := fault.Hit(ctx, fault.SiteServerCompute); err != nil {
+		release()
+		writeComputeError(w, r, err)
+		return nil, nil, false
+	}
+	return ctx, release, true
 }
 
 // computeBase builds the context for a batched computation: bounded by the
 // server's request timeout but NOT by any single request's lifetime (the
 // batcher cancels it when the batch ends or every participant departs).
+// The chaos injector rides along so detached batch work is faultable too.
 func (s *Server) computeBase() (context.Context, context.CancelFunc) {
-	return context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+	return fault.ContextWith(ctx, s.cfg.Chaos), cancel
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: liveness (/healthz) says the process
+// runs; readiness says it can take more compute work. When the wait queue
+// is saturated it answers 429 with Retry-After so load balancers and
+// clients back off before burning the queue timeout.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.saturated() {
+		retryAfter(w, time.Second)
+		writeError(w, http.StatusTooManyRequests, CodeOverloaded, "not ready: pool wait queue is saturated")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":  "ready",
+		"waiting": strconv.Itoa(s.pool.Waiting()),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

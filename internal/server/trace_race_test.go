@@ -1,0 +1,122 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// postJSONHeaders is postJSON returning the response headers too. It is
+// goroutine-safe (no Fatalf): failures surface as status 0 plus a t.Errorf.
+func postJSONHeaders(t *testing.T, base, path string, body any) (int, []byte, http.Header) {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Errorf("marshal request: %v", err)
+		return 0, nil, nil
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Errorf("POST %s: %v", path, err)
+		return 0, nil, nil
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Errorf("read response: %v", err)
+		return 0, nil, nil
+	}
+	return resp.StatusCode, raw, resp.Header
+}
+
+// TestTraceEvictionUnderConcurrentReads churns a tiny trace buffer (every
+// new request evicts an old trace) while reader goroutines hammer
+// /debug/trace with recently issued ids. Run under -race this pins the
+// Collector's eviction path against concurrent snapshot reads; functionally
+// a reader must only ever see a complete snapshot (200) or a clean miss
+// (404) — never a torn trace or a non-JSON body.
+func TestTraceEvictionUnderConcurrentReads(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceBuffer: 4, MaxQueueDepth: -1})
+
+	var (
+		mu  sync.Mutex
+		ids []string
+	)
+	addID := func(id string) {
+		mu.Lock()
+		if len(ids) < 256 {
+			ids = append(ids, id)
+		}
+		mu.Unlock()
+	}
+	pickID := func(rng *rand.Rand) string {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(ids) == 0 {
+			return ""
+		}
+		return ids[rng.Intn(len(ids))]
+	}
+
+	const writers, readers, perWriter = 4, 4, 25
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				status, _, hdr := postJSONHeaders(t, ts.URL, "/v1/utilities",
+					UtilitiesRequest{Graph: WireGraph{Path: []string{"1", "2"}}})
+				if status != http.StatusOK {
+					t.Errorf("utilities status %d", status)
+					return
+				}
+				if id := hdr.Get("X-Trace-Id"); id != "" {
+					addID(id)
+				}
+			}
+		}()
+	}
+	var rg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func(seed int64) {
+			defer rg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := pickID(rng)
+				if id == "" {
+					continue
+				}
+				resp, err := http.Get(ts.URL + "/debug/trace?id=" + id)
+				if err != nil {
+					t.Errorf("trace read: %v", err)
+					return
+				}
+				var body json.RawMessage
+				decodeErr := json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				if decodeErr != nil {
+					t.Errorf("trace %s: non-JSON body (status %d): %v", id, resp.StatusCode, decodeErr)
+					return
+				}
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+					t.Errorf("trace %s: status %d", id, resp.StatusCode)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+}

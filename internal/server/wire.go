@@ -280,10 +280,15 @@ type RatioResponse struct {
 
 // SweepRequest is the body of POST /v1/sweep: evaluate the split-utility
 // curve of agent V at Grid+1 evenly spaced w1 values (0 = default 64).
+// Resume, when set, is the resume_token of an earlier partial response for
+// the SAME graph, agent and grid; the sweep continues from the token's next
+// index instead of index 0. A token minted for a different request is
+// rejected with code partial_result.
 type SweepRequest struct {
-	Graph WireGraph `json:"graph"`
-	V     int       `json:"v"`
-	Grid  int       `json:"grid,omitempty"`
+	Graph  WireGraph `json:"graph"`
+	V      int       `json:"v"`
+	Grid   int       `json:"grid,omitempty"`
+	Resume string    `json:"resume,omitempty"`
 }
 
 // WireSweepPoint is one exactly evaluated split.
@@ -292,13 +297,24 @@ type WireSweepPoint struct {
 	U  string `json:"u"`
 }
 
-// SweepResponse is the body of a /v1/sweep answer.
+// SweepResponse is the body of a /v1/sweep answer. A complete sweep covers
+// grid indices [0, grid] and omits the partial fields. When the server's
+// request timeout (or the client's cancellation) cuts the sweep short, the
+// response instead carries the contiguous completed prefix: Partial is
+// true, Points covers indices [StartIndex, NextIndex), Best*/Ratio cover
+// only those points, and ResumeToken can be sent back in SweepRequest.Resume
+// to continue from NextIndex. Prefix points are bit-identical to the same
+// points of an uninterrupted run.
 type SweepResponse struct {
-	Points []WireSweepPoint `json:"points"`
-	BestW1 string           `json:"best_w1"`
-	BestU  string           `json:"best_u"`
-	Honest string           `json:"honest"`
-	Ratio  string           `json:"ratio"`
+	Points      []WireSweepPoint `json:"points"`
+	BestW1      string           `json:"best_w1"`
+	BestU       string           `json:"best_u"`
+	Honest      string           `json:"honest"`
+	Ratio       string           `json:"ratio"`
+	Partial     bool             `json:"partial,omitempty"`
+	StartIndex  int              `json:"start_index,omitempty"`
+	NextIndex   int              `json:"next_index,omitempty"`
+	ResumeToken string           `json:"resume_token,omitempty"`
 }
 
 // Stable machine-readable error codes. Clients should branch on Code;
@@ -329,6 +345,18 @@ const (
 	// CodeNotFound: the referenced resource (e.g. a trace id) does not
 	// exist, was evicted, or has expired.
 	CodeNotFound = "not_found"
+	// CodeInternalPanic: a computation panicked and was contained by the
+	// server's recovery barrier (500). The process survives; the request is
+	// safe to retry — under chaos testing, retrying converges to the
+	// fault-free answer.
+	CodeInternalPanic = "internal_panic"
+	// CodeOverloaded: the request was shed before queueing because the pool
+	// wait queue is saturated (429, with Retry-After). Distinguishes
+	// overload (back off and retry) from hard failure.
+	CodeOverloaded = "overloaded"
+	// CodePartialResult: a sweep resume token is malformed or was minted for
+	// a different (graph, agent, grid) than this request (400).
+	CodePartialResult = "partial_result"
 )
 
 // ErrorResponse is the body of every non-2xx answer: a stable

@@ -2,10 +2,12 @@ package sybil
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/numeric"
 	"repro/internal/obs"
@@ -24,6 +26,15 @@ type SweepOptions struct {
 	// pre-optimization baseline, kept for benchmarking. Results are
 	// identical either way.
 	Cold bool
+	// Start is the first grid index to evaluate, in [0, Grid]. A resumed
+	// sweep passes the NextIndex of an earlier partial result; the returned
+	// Points then cover [Start, NextIndex).
+	Start int
+	// Progress, when set, is invoked after each grid point completes, with
+	// the point's grid index. With Workers > 1 the order is the completion
+	// order, not the grid order; tests that need a deterministic checkpoint
+	// set Workers to 1 so indices arrive ascending.
+	Progress func(i int)
 }
 
 // SweepPoint is one exactly evaluated split of the sweep.
@@ -33,14 +44,26 @@ type SweepPoint struct {
 	U numeric.Rat
 }
 
-// SweepResult is the outcome of RingSweep.
+// SweepResult is the outcome of RingSweep. When the context was canceled
+// mid-sweep, Partial is true and Points holds only the contiguous completed
+// prefix starting at Start — every point in it is bit-identical to the same
+// point of an uncanceled run, because points are independent and exact.
+// NextIndex is the first grid index NOT covered; rerunning with
+// Start=NextIndex and concatenating Points reconstructs the full sweep.
 type SweepResult struct {
 	Points []SweepPoint
-	// BestW1/BestU is the best sampled split (a lower bound on the optimum;
-	// use core.Instance.Optimize for the certified piecewise search).
+	// BestW1/BestU is the best split among Points (a lower bound on the
+	// optimum; use core.Instance.Optimize for the certified piecewise
+	// search). Zero when Points is empty.
 	BestW1, BestU numeric.Rat
 	// Honest is U_v(G; w), and Ratio = BestU / Honest (1 when both zero).
+	// For a partial result the ratio covers only the returned points.
 	Honest, Ratio numeric.Rat
+	// Partial reports that cancellation cut the sweep short; Start/NextIndex
+	// delimit the covered index range [Start, NextIndex).
+	Partial   bool
+	Start     int
+	NextIndex int
 	// Stats exposes the evaluation-cache and incremental-solver counters
 	// accumulated by the sweep.
 	Stats core.EvalStats
@@ -55,45 +78,103 @@ func RingSweep(g *graph.Graph, v int, opts SweepOptions) (*SweepResult, error) {
 	return RingSweepCtx(context.Background(), g, v, opts)
 }
 
-// RingSweepCtx is RingSweep with cancellation and tracing: the context is
-// threaded into every split evaluation, and when it carries an obs span the
-// sweep is recorded as one "sybil.ring_sweep" span with the grid fan-out
-// and per-point evaluations as children.
+// RingSweepCtx is RingSweep with cancellation, tracing and checkpointed
+// progress: the context is threaded into every split evaluation, and when
+// it carries an obs span the sweep is recorded as one "sybil.ring_sweep"
+// span. A context canceled mid-sweep does not discard completed work — the
+// call returns the contiguous completed prefix with Partial set (see
+// SweepResult) instead of an error, so a deadline converts the sweep into
+// a resumable checkpoint rather than wasted cycles.
 func RingSweepCtx(ctx context.Context, g *graph.Graph, v int, opts SweepOptions) (*SweepResult, error) {
-	if opts.Grid <= 0 {
-		opts.Grid = 64
-	}
-	ctx, span := obs.Start(ctx, "sybil.ring_sweep")
-	defer span.End()
-	if span != nil {
-		span.SetAttr("grid", strconv.Itoa(opts.Grid))
-	}
 	in, err := core.NewInstanceCtx(ctx, g, v)
 	if err != nil {
 		return nil, err
 	}
 	in.SetEvalCache(!opts.Cold)
 	in.SetIncremental(!opts.Cold)
+	return SweepInstanceCtx(ctx, in, opts)
+}
+
+// SweepInstanceCtx runs the sweep over an already-built instance, reusing
+// whatever solver state it has accumulated (the server calls this with its
+// cached per-graph instances). Same partial-result semantics as
+// RingSweepCtx.
+func SweepInstanceCtx(ctx context.Context, in *core.Instance, opts SweepOptions) (*SweepResult, error) {
+	if opts.Grid <= 0 {
+		opts.Grid = 64
+	}
+	if opts.Start < 0 || opts.Start > opts.Grid {
+		return nil, fmt.Errorf("sybil: start index %d outside [0, %d]", opts.Start, opts.Grid)
+	}
+	ctx, span := obs.Start(ctx, "sybil.ring_sweep")
+	defer span.End()
+	if span != nil {
+		span.SetAttr("grid", strconv.Itoa(opts.Grid))
+		if opts.Start > 0 {
+			span.SetAttr("start", strconv.Itoa(opts.Start))
+		}
+	}
 	W := in.W()
-	pts := make([]SweepPoint, opts.Grid+1)
-	errs := par.MapCtx(ctx, len(pts), opts.Workers, func(ctx context.Context, i int) error {
+	total := opts.Grid + 1 - opts.Start
+	pts := make([]SweepPoint, total)
+	done := make([]bool, total)
+	errs := par.MapCtx(ctx, total, opts.Workers, func(ctx context.Context, k int) error {
+		i := opts.Start + k
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := fault.Hit(ctx, fault.SiteSweepPoint); err != nil {
+			return err
+		}
 		w1 := W.MulInt(int64(i)).DivInt(int64(opts.Grid))
 		ev, err := in.EvalSplitCtx(ctx, w1)
 		if err != nil {
 			return err
 		}
-		pts[i] = SweepPoint{W1: w1, U: ev.U}
+		pts[k] = SweepPoint{W1: w1, U: ev.U}
+		done[k] = true
+		if opts.Progress != nil {
+			opts.Progress(i)
+		}
 		return nil
 	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sybil: sweep point %d: %w", i, err)
+	// Classify failures: context errors truncate the sweep to its completed
+	// prefix; anything else (including injected faults) fails the whole call
+	// so callers never mistake a broken sweep for a merely interrupted one.
+	canceled := false
+	for k, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			canceled = true
+			continue
+		}
+		return nil, fmt.Errorf("sybil: sweep point %d: %w", opts.Start+k, err)
+	}
+	completed := total
+	if canceled {
+		completed = 0
+		for completed < total && done[completed] {
+			completed++
 		}
 	}
-	res := &SweepResult{Points: pts, Honest: in.HonestU, BestW1: pts[0].W1, BestU: pts[0].U}
-	for _, p := range pts[1:] {
-		if res.BestU.Less(p.U) {
-			res.BestW1, res.BestU = p.W1, p.U
+	res := &SweepResult{
+		Points:    pts[:completed],
+		Honest:    in.HonestU,
+		Partial:   completed < total,
+		Start:     opts.Start,
+		NextIndex: opts.Start + completed,
+	}
+	if span != nil && res.Partial {
+		span.AddEvent("sweep_partial", "next_index", strconv.Itoa(res.NextIndex))
+	}
+	if completed > 0 {
+		res.BestW1, res.BestU = res.Points[0].W1, res.Points[0].U
+		for _, p := range res.Points[1:] {
+			if res.BestU.Less(p.U) {
+				res.BestW1, res.BestU = p.W1, p.U
+			}
 		}
 	}
 	switch {

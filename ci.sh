@@ -26,6 +26,14 @@ go test -race -count=2 ./internal/obs ./internal/server
 go test -race -count=2 ./internal/fault ./client
 go test ./cmd/irshared -run 'TestChaos' -count=1
 
+# Durable jobs: a dedicated -count=2 race pass (the store serializes WAL
+# appends against compaction and the scheduler races submit/cancel/shutdown
+# against its workers), then the crash-recovery smoke — a real child
+# process SIGKILLed mid-grid must recover from its -data-dir and finish
+# bit-identically.
+go test -race -count=2 ./internal/jobs
+go test ./cmd/irshared -run 'TestKillAndRecover' -count=1
+
 # Refresh the recorded disabled-vs-enabled tracing overhead numbers.
 go run ./cmd/benchjson -bench 'Obs' -pkg ./internal/obs -out BENCH_obs.json \
 	-note "disabled-vs-enabled recorder overhead: primitives (Start/AddInt/End) and end-to-end DecomposeCtx on a 64-ring"
@@ -34,6 +42,12 @@ go run ./cmd/benchjson -bench 'Obs' -pkg ./internal/obs -out BENCH_obs.json \
 # loops with no injector installed must stay within noise of the baseline).
 go run ./cmd/benchjson -bench 'OptimizeSplit$/n=129' -out BENCH_fault.json \
 	-note "disabled-injection overhead check: BenchmarkOptimizeSplit n=129 with fault sites live but no injector installed; compare seed_baseline"
+
+# Refresh the job-store durability numbers: un-synced WAL append throughput
+# (the per-point checkpoint hot path), fsync'd state transitions, and full
+# recovery (replay + requeue) of a 10k-record store.
+go run ./cmd/benchjson -bench 'WAL|Recover' -pkg ./internal/jobs -out BENCH_jobs.json \
+	-note "durable job store: WAL append (unsynced checkpoint path vs fsync'd state transition) and 10k-record recovery replay"
 
 # Fuzz smoke: run each native fuzz target briefly against its seed corpus
 # plus fresh mutations. Parser/codec regressions (panics, unbounded

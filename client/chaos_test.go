@@ -2,9 +2,12 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	"net/http/httptest"
 	"reflect"
 	"regexp"
 	"strconv"
@@ -31,8 +34,104 @@ func chaosRules() []fault.Rule {
 		{Site: fault.SiteMaxflowPush, Kind: fault.KindError, Every: 400, Limit: 10},
 		{Site: fault.SiteSweepPoint, Kind: fault.KindError, Every: 11, Limit: 15},
 		{Site: fault.SiteSweepPoint, Kind: fault.KindPanic, Every: 131, Limit: 4},
+		{Site: fault.SiteJobsWAL, Kind: fault.KindError, Every: 4, Limit: 6},
+		{Site: fault.SiteJobsRecover, Kind: fault.KindError, Every: 1, Limit: 2},
 		{Site: "*", Kind: fault.KindLatency, Every: 100, Latency: 100 * time.Microsecond, Limit: 100},
 	}
+}
+
+// chaosJobsPhase runs the durable-jobs leg of the chaos replay: a sweep job
+// driven to completion against WAL-append faults (bit-identical to the
+// clean inline sweep), then a re-boot over the populated store that must
+// survive injected recovery faults by retrying.
+func chaosJobsPhase(t *testing.T, ctx context.Context, clean *Client, injector *fault.Injector) {
+	t.Helper()
+	dataDir := t.TempDir()
+	cfg := server.Config{MaxQueueDepth: -1, Chaos: injector, DataDir: dataDir}
+
+	// boot retries server.New until the recover-fault budget lets a boot
+	// through; over a populated store each pending job is a jobs.recover hit.
+	boot := func() (*server.Server, *httptest.Server) {
+		for attempt := 1; ; attempt++ {
+			srv, err := server.New(withDiscardLogger(cfg))
+			if err == nil {
+				return srv, httptest.NewServer(srv.Handler())
+			}
+			if attempt >= 20 {
+				t.Fatalf("server boot did not converge under recovery faults: %v", err)
+			}
+		}
+	}
+	srv, ts := boot()
+	jc := New(ts.URL, WithSeed(5), WithMaxAttempts(30), WithBackoff(time.Millisecond, 4*time.Millisecond))
+	ring := Graph{Ring: []string{"1", "3/2", "2", "5", "7/3"}}
+
+	// Drive one job to done: submissions retry through injected 503s, and a
+	// job failed by a checkpoint-write fault restarts (from its checkpoint)
+	// on resubmission.
+	var job *Job
+	for attempt := 1; ; attempt++ {
+		sub, err := jc.SubmitSweep(ctx, &JobSubmitRequest{Graph: ring, V: 2, Grid: 16})
+		if err != nil {
+			t.Fatalf("chaos job submit: %v", err)
+		}
+		job, err = jc.WaitJob(ctx, sub.Job.ID)
+		if err != nil {
+			t.Fatalf("chaos job wait: %v", err)
+		}
+		if job.State == JobDone {
+			break
+		}
+		if job.State != JobFailed {
+			t.Fatalf("chaos job settled as %q (error %q)", job.State, job.Error)
+		}
+		if attempt >= 20 {
+			t.Fatalf("chaos job did not converge: still failing with %q", job.Error)
+		}
+	}
+	var got SweepResponse
+	if err := json.Unmarshal(job.Result, &got); err != nil {
+		t.Fatalf("chaos job result: %v", err)
+	}
+	want, err := clean.Sweep(ctx, &SweepRequest{Graph: ring, V: 2, Grid: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, want) {
+		t.Fatalf("job result diverged under chaos:\ngot:  %+v\nwant: %+v", got, want)
+	}
+
+	// Leave pending work behind so the re-boot's recovery has jobs to walk
+	// (and faults to absorb), then boot again over the same store.
+	if _, err := jc.SubmitSweep(ctx, &JobSubmitRequest{Graph: ring, V: 0, Grid: 2048}); err != nil {
+		t.Fatalf("chaos big job submit: %v", err)
+	}
+	if _, err := jc.SubmitSweep(ctx, &JobSubmitRequest{Graph: ring, V: 1, Grid: 2048}); err != nil {
+		t.Fatalf("chaos big job submit: %v", err)
+	}
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close chaos jobs server: %v", err)
+	}
+	srv2, ts2 := boot()
+	t.Cleanup(func() { ts2.Close(); srv2.Close() })
+
+	// The done job survived both the crash-free shutdown and the faulted
+	// recovery bit-identically.
+	after, err := New(ts2.URL, WithSeed(6), WithMaxAttempts(30),
+		WithBackoff(time.Millisecond, 4*time.Millisecond)).GetJob(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("get job after reboot: %v", err)
+	}
+	if after.State != JobDone || string(after.Result) != string(job.Result) {
+		t.Fatalf("job changed across reboot: state %q", after.State)
+	}
+}
+
+// withDiscardLogger fills in a quiet logger without mutating the shared cfg.
+func withDiscardLogger(cfg server.Config) server.Config {
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	return cfg
 }
 
 // wireOf renders a graph in explicit wire form.
@@ -144,6 +243,13 @@ func TestChaosReplayConvergesBitIdentical(t *testing.T) {
 			t.Fatalf("instance %d: sweep diverged under chaos:\ngot:  %+v\nwant: %+v", i, gotS, wantS)
 		}
 	}
+
+	// Durable jobs under the same fault budget. WAL-append faults fail
+	// submissions (retried by the client) and checkpoint writes (failing the
+	// job; resubmission restarts it from its checkpoint), and recover faults
+	// abort boots over a populated store — all of which must converge once
+	// the budget drains, with the final result still bit-identical.
+	chaosJobsPhase(t, ctx, cc, injector)
 
 	// The replay must actually have exercised every site: a silent dead rule
 	// would make the whole suite vacuous.

@@ -61,6 +61,14 @@ type (
 	WireSweepPoint = server.WireSweepPoint
 	// SweepResponse is the answer of /v1/sweep (possibly partial).
 	SweepResponse = server.SweepResponse
+	// JobSubmitRequest is the body of POST /v1/jobs.
+	JobSubmitRequest = server.JobSubmitRequest
+	// JobSubmitResponse is the answer of POST /v1/jobs.
+	JobSubmitResponse = server.JobSubmitResponse
+	// Job is the API view of one durable background job.
+	Job = server.WireJob
+	// JobListResponse is the answer of GET /v1/jobs.
+	JobListResponse = server.JobListResponse
 	// ErrorResponse is the body of every non-2xx answer.
 	ErrorResponse = server.ErrorResponse
 )
@@ -96,12 +104,13 @@ func (e *APIError) Retryable() bool {
 
 // Client talks to one irshared base URL. It is safe for concurrent use.
 type Client struct {
-	base        string
-	hc          *http.Client
-	maxAttempts int
-	baseDelay   time.Duration
-	maxDelay    time.Duration
-	onRetry     func(attempt int, err error, delay time.Duration)
+	base           string
+	hc             *http.Client
+	maxAttempts    int
+	baseDelay      time.Duration
+	maxDelay       time.Duration
+	stallThreshold int
+	onRetry        func(attempt int, err error, delay time.Duration)
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -149,6 +158,18 @@ func WithSeed(seed int64) Option {
 // the failed attempt number (1-based), the error, and the chosen delay.
 func WithRetryHook(f func(attempt int, err error, delay time.Duration)) Option {
 	return func(c *Client) { c.onRetry = f }
+}
+
+// WithStallThreshold sets how many consecutive zero-progress rounds SweepAll
+// tolerates before giving up (default: the client's max attempts — the
+// historical behavior). Raise it for servers whose request timeout sits
+// close to the cost of a single grid point; values < 1 keep the default.
+func WithStallThreshold(n int) Option {
+	return func(c *Client) {
+		if n >= 1 {
+			c.stallThreshold = n
+		}
+	}
 }
 
 // New builds a client for the service at base (e.g. "http://127.0.0.1:8080").
@@ -214,16 +235,30 @@ func (c *Client) Sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, 
 	return &resp, nil
 }
 
-// do POSTs the JSON body and decodes the answer into out, retrying
-// transient failures with backoff until the context dies or attempts run
-// out. The request body is marshaled once and replayed per attempt.
+// do POSTs the JSON body and decodes the answer into out.
 func (c *Client) do(ctx context.Context, path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return fmt.Errorf("client: encode request: %w", err)
+	return c.doMethod(ctx, http.MethodPost, path, in, out)
+}
+
+// doMethod performs one JSON exchange with the given method (in == nil
+// sends no body, as GET/DELETE do) and decodes the answer into out,
+// retrying transient failures with backoff until the context dies or
+// attempts run out. The request body is marshaled once and replayed per
+// attempt; every endpoint is either a pure computation or idempotent
+// (submission is content-addressed, cancellation converges), so replaying
+// any method is safe.
+func (c *Client) doMethod(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		body, err = json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
 	}
+	var err error
 	for attempt := 1; ; attempt++ {
-		err = c.once(ctx, path, body, out)
+		err = c.once(ctx, method, path, body, out)
 		if err == nil {
 			return nil
 		}
@@ -245,12 +280,18 @@ func (c *Client) do(ctx context.Context, path string, in, out any) error {
 }
 
 // once performs a single HTTP exchange.
-func (c *Client) once(ctx context.Context, path string, body []byte, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return fmt.Errorf("client: build request: %w", err)
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -260,7 +301,7 @@ func (c *Client) once(ctx context.Context, path string, body []byte, out any) er
 	if err != nil {
 		return fmt.Errorf("client: read response: %w", err)
 	}
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode < http.StatusOK || resp.StatusCode >= http.StatusMultipleChoices {
 		apiErr := &APIError{Status: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
 		var body ErrorResponse
 		if json.Unmarshal(raw, &body) == nil && body.Code != "" {
@@ -309,15 +350,26 @@ func (c *Client) delay(attempt int, err error) time.Duration {
 	return d
 }
 
-// parseRetryAfter understands the delta-seconds form the server emits.
-// (HTTP-date is also legal Retry-After; the service never sends it.)
+// parseRetryAfter understands both legal Retry-After forms of RFC 9110
+// §10.2.3: delta-seconds ("120") and an HTTP-date ("Fri, 31 Dec 1999
+// 23:59:59 GMT", plus the obsolete RFC 850 and asctime layouts via
+// http.ParseTime). The service itself emits delta-seconds, but proxies and
+// load balancers in front of it rewrite to dates; a date in the past (or
+// anything unparseable) yields 0 — no floor on the backoff.
 func parseRetryAfter(s string) time.Duration {
 	if s == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(s)
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.Atoi(s); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if t, err := http.ParseTime(s); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }

@@ -186,14 +186,32 @@ func TestJitterDeterministicWithSeed(t *testing.T) {
 }
 
 func TestParseRetryAfter(t *testing.T) {
+	// Exact cases: delta-seconds, garbage, and dates that must clamp to 0.
 	for _, tc := range []struct {
 		in   string
 		want time.Duration
 	}{
 		{"", 0}, {"1", time.Second}, {"30", 30 * time.Second}, {"-5", 0}, {"soon", 0},
+		{"Fri, 31 Dec 1999 23:59:59 GMT", 0}, // HTTP-date in the past
+		{"31 Dec 1999", 0},                   // not a legal HTTP-date layout
 	} {
 		if got := parseRetryAfter(tc.in); got != tc.want {
 			t.Fatalf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// HTTP-date cases resolve via time.Until, so check a window rather than
+	// an exact value: a date ~90s out must land in (85s, 90s]. All three
+	// layouts RFC 9110 grandfathers are accepted (IMF-fixdate, RFC 850,
+	// asctime).
+	future := time.Now().Add(90 * time.Second)
+	for _, in := range []string{
+		future.UTC().Format(http.TimeFormat),
+		future.UTC().Format("Monday, 02-Jan-06 15:04:05 GMT"),
+		future.UTC().Format(time.ANSIC),
+	} {
+		got := parseRetryAfter(in)
+		if got <= 85*time.Second || got > 90*time.Second {
+			t.Fatalf("parseRetryAfter(%q) = %v, want ~90s", in, got)
 		}
 	}
 }

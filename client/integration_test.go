@@ -17,8 +17,13 @@ func newService(t *testing.T, cfg server.Config) *httptest.Server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	ts := httptest.NewServer(server.New(cfg).Handler())
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(func() { srv.Close() })
 	return ts
 }
 

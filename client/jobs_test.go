@@ -1,0 +1,176 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestJobsClientLifecycle drives the whole durable-jobs surface against a
+// real server: submit, wait to completion, verify the stored result is
+// bit-identical to an inline sweep, dedupe on resubmission, list with
+// pagination, and cancel.
+func TestJobsClientLifecycle(t *testing.T) {
+	ts := newService(t, server.Config{MaxQueueDepth: -1, DataDir: t.TempDir()})
+	c := New(ts.URL, fastBackoff(), WithSeed(1))
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	ring := Graph{Ring: []string{"1", "2", "3", "4", "5"}}
+
+	sub, err := c.SubmitSweep(ctx, &JobSubmitRequest{Graph: ring, V: 2, Grid: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Deduped || sub.Job.ID == "" {
+		t.Fatalf("fresh submission: %+v", sub)
+	}
+
+	job, err := c.WaitJob(ctx, sub.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != JobDone || !JobTerminal(job.State) {
+		t.Fatalf("job finished in state %q (error %q)", job.State, job.Error)
+	}
+	var fromJob SweepResponse
+	if err := json.Unmarshal(job.Result, &fromJob); err != nil {
+		t.Fatalf("job result: %v", err)
+	}
+	inline, err := c.Sweep(ctx, &SweepRequest{Graph: ring, V: 2, Grid: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromJob.Ratio != inline.Ratio || fromJob.BestU != inline.BestU || len(fromJob.Points) != len(inline.Points) {
+		t.Fatalf("job result diverged from inline sweep:\njob:    %+v\ninline: %+v", fromJob, inline)
+	}
+	for i := range fromJob.Points {
+		if fromJob.Points[i] != inline.Points[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, fromJob.Points[i], inline.Points[i])
+		}
+	}
+
+	// Content-addressed dedupe: a different spelling of the same instance
+	// ("2/1" vs "2") maps to the same job.
+	again, err := c.SubmitSweep(ctx, &JobSubmitRequest{Graph: Graph{Ring: []string{"1", "2/1", "3", "4", "5"}}, V: 2, Grid: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Deduped || again.Job.ID != sub.Job.ID {
+		t.Fatalf("resubmission not deduped: %+v vs id %s", again, sub.Job.ID)
+	}
+
+	// Pagination: the done job above plus a big queued/running one.
+	big, err := c.SubmitSweep(ctx, &JobSubmitRequest{Graph: ring, V: 1, Grid: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []string
+	q := JobListQuery{Limit: 1}
+	for {
+		page, err := c.ListJobs(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page.Jobs) > 1 {
+			t.Fatalf("page exceeds limit: %d jobs", len(page.Jobs))
+		}
+		for _, j := range page.Jobs {
+			seen = append(seen, j.ID)
+		}
+		if page.NextCursor == 0 {
+			break
+		}
+		q.Cursor = page.NextCursor
+	}
+	if len(seen) != 2 || seen[0] != sub.Job.ID || seen[1] != big.Job.ID {
+		t.Fatalf("listed %v, want [%s %s]", seen, sub.Job.ID, big.Job.ID)
+	}
+	done, err := c.ListJobs(ctx, JobListQuery{State: JobDone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done.Jobs) != 1 || done.Jobs[0].ID != sub.Job.ID {
+		t.Fatalf("state filter: %+v", done.Jobs)
+	}
+
+	// Cancel the big job and wait for it to settle.
+	if _, err := c.CancelJob(ctx, big.Job.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitJob(ctx, big.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobCanceled {
+		t.Fatalf("canceled job settled as %q", final.State)
+	}
+	// Canceling a terminal job is a 409 with a stable code.
+	_, err = c.CancelJob(ctx, final.ID)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 409 || apiErr.Code != server.CodeJobTerminal {
+		t.Fatalf("want job_terminal 409, got %v", err)
+	}
+}
+
+// TestJobsClientErrors pins the error mapping: unknown job IDs are 404s and
+// a server without -data-dir answers every jobs call with jobs_disabled.
+func TestJobsClientErrors(t *testing.T) {
+	ctx := context.Background()
+	withJobs := newService(t, server.Config{MaxQueueDepth: -1, DataDir: t.TempDir()})
+	c := New(withJobs.URL, fastBackoff(), WithSeed(1))
+	_, err := c.GetJob(ctx, "jdeadbeef")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("want 404, got %v", err)
+	}
+
+	plain := newService(t, server.Config{MaxQueueDepth: -1})
+	d := New(plain.URL, fastBackoff(), WithSeed(1))
+	ring := Graph{Ring: []string{"1", "2", "3"}}
+	if _, err := d.SubmitSweep(ctx, &JobSubmitRequest{Graph: ring, V: 0, Grid: 4}); !errors.As(err, &apiErr) ||
+		apiErr.Status != 501 || apiErr.Code != server.CodeJobsDisabled {
+		t.Fatalf("submit without data dir: %v", err)
+	}
+	if _, err := d.ListJobs(ctx, JobListQuery{}); !errors.As(err, &apiErr) || apiErr.Code != server.CodeJobsDisabled {
+		t.Fatalf("list without data dir: %v", err)
+	}
+}
+
+// TestWithStallThreshold checks the configurable stall budget: against a
+// server that never makes progress, SweepAll performs exactly threshold
+// rounds when the option is set, and maxAttempts rounds by default.
+func TestWithStallThreshold(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeJSON(w, http.StatusOK, SweepResponse{Partial: true, ResumeToken: "t"})
+	}))
+	defer ts.Close()
+
+	run := func(opts ...Option) int64 {
+		calls.Store(0)
+		c := New(ts.URL, append([]Option{fastBackoff(), WithSeed(1), WithMaxAttempts(3)}, opts...)...)
+		_, err := c.SweepAll(context.Background(), &SweepRequest{Grid: 4})
+		if err == nil || !strings.Contains(err.Error(), "stalled") {
+			t.Fatalf("want stall error, got %v", err)
+		}
+		return calls.Load()
+	}
+	if got := run(); got != 3 {
+		t.Fatalf("default threshold: %d rounds, want maxAttempts=3", got)
+	}
+	if got := run(WithStallThreshold(7)); got != 7 {
+		t.Fatalf("WithStallThreshold(7): %d rounds, want 7", got)
+	}
+	if got := run(WithStallThreshold(0)); got != 3 {
+		t.Fatalf("WithStallThreshold(0) must keep the default: %d rounds, want 3", got)
+	}
+}

@@ -17,9 +17,11 @@ import (
 // full point set.
 //
 // Each round must advance NextIndex; a server too overloaded to finish even
-// one grid point per request gets c.maxAttempts zero-progress rounds (with
-// the usual backoff between them) before SweepAll gives up. req is not
-// mutated. A caller-supplied Resume token is honored as the starting point.
+// one grid point per request gets a bounded number of zero-progress rounds
+// (with the usual backoff between them) before SweepAll gives up — the
+// client's max attempts by default, WithStallThreshold to change it. req is
+// not mutated. A caller-supplied Resume token is honored as the starting
+// point.
 func (c *Client) SweepAll(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
 	r := *req
 	grid := r.Grid
@@ -44,7 +46,11 @@ func (c *Client) SweepAll(ctx context.Context, req *SweepRequest) (*SweepRespons
 		}
 		if resp.NextIndex <= next && len(resp.Points) == 0 {
 			stalls++
-			if stalls >= c.maxAttempts {
+			threshold := c.stallThreshold
+			if threshold < 1 {
+				threshold = c.maxAttempts
+			}
+			if stalls >= threshold {
 				return nil, fmt.Errorf("client: sweep stalled at grid index %d after %d zero-progress rounds", next, stalls)
 			}
 			// Back off as if the round had failed: zero progress means the

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// TestMain lets this test binary double as the irshared process: re-exec'd
+// with IRSHARED_TEST_CHILD=1 it runs the real main loop on the given flags
+// instead of the tests. That is what makes a genuine SIGKILL test possible —
+// the server must be a separate process, and re-exec'ing the test binary
+// avoids a build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("IRSHARED_TEST_CHILD") == "1" {
+		if err := run(os.Args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "irshared:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// startChild boots a child irshared process on addr and waits for /healthz.
+func startChild(t *testing.T, addr string, args ...string) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, append([]string{"-addr", addr, "-log", "json"}, args...)...)
+	cmd.Env = append(os.Environ(), "IRSHARED_TEST_CHILD=1")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("child server did not come up at %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestKillAndRecoverBitIdentical is the crash-recovery acceptance test of
+// the durable job subsystem: a sweep job is started in a real child process,
+// the process is SIGKILLed mid-grid (no drain, no checkpoint flush beyond
+// what already hit disk), and a fresh process over the same -data-dir must
+// recover the job and complete it bit-identically to an uninterrupted run.
+// A latency fault on jobs.wal.append slows checkpointing enough that the
+// kill reliably lands mid-grid.
+func TestKillAndRecoverBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	ring := client.Graph{Ring: []string{"1", "3/2", "2", "5", "7/3", "4"}}
+	const grid = 192
+	req := client.JobSubmitRequest{Graph: ring, V: 1, Grid: grid}
+
+	addr1 := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	child1 := startChild(t, addr1, "-data-dir", dir,
+		"-chaos", "jobs.wal.append=latency:1:10ms", "-chaos-allow")
+	c1 := client.New("http://"+addr1, client.WithSeed(1))
+	sub, err := c1.SubmitSweep(ctx, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the job checkpoint a few grid points, then kill without ceremony.
+	for {
+		job, err := c1.GetJob(ctx, sub.Job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if client.JobTerminal(job.State) {
+			t.Fatalf("job reached %q before the kill; grid too small", job.State)
+		}
+		if job.NextIndex >= 3 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := child1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	child1.Wait() // "signal: killed" — the point of the test
+
+	// A fresh process over the same data dir recovers and finishes the job.
+	addr2 := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	child2 := startChild(t, addr2, "-data-dir", dir)
+	c2 := client.New("http://"+addr2, client.WithSeed(2))
+	final, err := c2.WaitJob(ctx, sub.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != client.JobDone {
+		t.Fatalf("recovered job settled as %q (error %q)", final.State, final.Error)
+	}
+	if final.NextIndex != grid+1 || len(final.Points) != grid+1 {
+		t.Fatalf("recovered job covered %d/%d points, want %d", final.NextIndex, len(final.Points), grid+1)
+	}
+
+	// Bit-identical to the uninterrupted computation of the same request.
+	var got client.SweepResponse
+	if err := json.Unmarshal(final.Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c2.Sweep(ctx, &client.SweepRequest{Graph: ring, V: 1, Grid: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, want) {
+		t.Fatalf("recovered result diverged from uninterrupted sweep:\ngot:  %+v\nwant: %+v", got, want)
+	}
+
+	// Duplicate submission dedupes onto the finished job.
+	dup, err := c2.SubmitSweep(ctx, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Deduped || dup.Job.ID != sub.Job.ID {
+		t.Fatalf("duplicate submission: %+v, want dedupe onto %s", dup, sub.Job.ID)
+	}
+
+	// And the second process still drains gracefully.
+	if err := child2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := child2.Wait(); err != nil {
+		t.Fatalf("graceful drain after recovery: %v", err)
+	}
+}

@@ -7,6 +7,10 @@
 //	POST /v1/utilities  equilibrium utilities only
 //	POST /v1/ratio      incentive ratio of one ring agent (batched)
 //	POST /v1/sweep      split-utility curve of one ring agent
+//	POST /v1/jobs       submit a durable background sweep job (needs -data-dir)
+//	GET  /v1/jobs       list jobs (cursor pagination, ?state= filter)
+//	GET  /v1/jobs/{id}  job status, checkpointed partial points, final result
+//	DELETE /v1/jobs/{id} cancel a queued or running job
 //	GET  /healthz       liveness
 //	GET  /readyz        readiness (429 + Retry-After when the queue is saturated)
 //	GET  /metrics       Prometheus text metrics
@@ -60,6 +64,7 @@ func run(args []string) error {
 		chaosSpec    = fs.String("chaos", "", "fault-injection spec, e.g. 'server.compute=error:0.1;maxflow.push=panic:1/50' (requires -chaos-allow)")
 		chaosAllow   = fs.Bool("chaos-allow", false, "acknowledge that -chaos deliberately breaks requests; refused otherwise")
 		chaosSeed    = fs.Uint64("chaos-seed", 1, "deterministic seed for -chaos injection decisions")
+		dataDir      = fs.String("data-dir", "", "durable job store directory; enables the /v1/jobs API and crash recovery")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,7 +113,7 @@ func run(args []string) error {
 		return fmt.Errorf("-chaos-allow given without -chaos")
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		CacheSize:      cfgCache,
 		PoolSize:       *pool,
 		RequestTimeout: *timeout,
@@ -121,7 +126,12 @@ func run(args []string) error {
 		EnablePprof:    *pprof,
 		MaxQueueDepth:  *maxQueue,
 		Chaos:          injector,
+		DataDir:        *dataDir,
 	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -151,6 +161,12 @@ func run(args []string) error {
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// Stop the job scheduler after the listener drains: running jobs
+	// checkpoint, requeue, and the store closes cleanly — the next boot's
+	// recovery resumes them from their last checkpoint.
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("close job store: %w", err)
 	}
 	logger.Info("drained")
 	return nil

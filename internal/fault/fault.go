@@ -51,6 +51,13 @@ const (
 	// SiteServerBatch fires once per batched /v1/ratio computation, inside
 	// the detached batch goroutine (exercising the batcher's containment).
 	SiteServerBatch = "server.batch"
+	// SiteJobsWAL fires once per job-store WAL append — state transitions
+	// and checkpoint deltas alike. An injected error surfaces as a failed
+	// submit or a failed job, never a corrupt log.
+	SiteJobsWAL = "jobs.wal.append"
+	// SiteJobsRecover fires once per job considered during startup recovery
+	// of the durable job store; an injected error aborts the boot loudly.
+	SiteJobsRecover = "jobs.recover"
 )
 
 // Sites returns the registered site names, sorted.
@@ -62,6 +69,8 @@ func Sites() []string {
 		SiteCacheGet,
 		SiteSweepPoint,
 		SiteServerBatch,
+		SiteJobsWAL,
+		SiteJobsRecover,
 	}
 	sort.Strings(s)
 	return s

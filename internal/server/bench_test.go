@@ -20,7 +20,10 @@ import (
 
 func benchServer(b *testing.B, cacheSize int) *httptest.Server {
 	b.Helper()
-	srv := New(Config{CacheSize: cacheSize, Logger: discardLogger()})
+	srv, err := New(Config{CacheSize: cacheSize, Logger: discardLogger()})
+	if err != nil {
+		b.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	b.Cleanup(ts.Close)
 	return ts

@@ -1,0 +1,342 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"context"
+
+	"repro/internal/fault"
+	"repro/internal/jobs"
+	"repro/internal/numeric"
+	"repro/internal/obs"
+)
+
+// jobKey is the content address of one sweep job: the canonical instance
+// key plus the sweep parameters. Two submissions describing the same sweep
+// — whatever spelling their graphs arrived in — dedupe to one job.
+func jobKey(instanceKey string, v, grid int) string {
+	return fmt.Sprintf("%s|v=%d|grid=%d|sweep", instanceKey, v, grid)
+}
+
+// handleJobSubmit is POST /v1/jobs: validate exactly like /v1/sweep, then
+// hand the work to the durable scheduler instead of computing inline. The
+// submission is fsync'd before the response: an acknowledged job survives
+// any crash and is recovered — checkpointed prefix intact — on the next
+// boot.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.jobSched == nil {
+		writeError(w, http.StatusNotImplemented, CodeJobsDisabled, "durable jobs are disabled: start the server with -data-dir")
+		return
+	}
+	var req JobSubmitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	grid := req.Grid
+	if grid == 0 {
+		grid = 64
+	}
+	if grid < 0 || grid > 4096 {
+		writeError(w, http.StatusBadRequest, CodeBadGrid, "grid outside [1, 4096]")
+		return
+	}
+	entry, ok := s.entryForWire(w, r, &req.Graph)
+	if !ok {
+		return
+	}
+	if !entry.g.IsRing() {
+		writeError(w, http.StatusBadRequest, CodeNotRing, "sweep jobs require a ring graph")
+		return
+	}
+	if req.V < 0 || req.V >= entry.g.N() {
+		writeError(w, http.StatusBadRequest, CodeBadAgent, fmt.Sprintf("agent %d out of range [0, %d)", req.V, entry.g.N()))
+		return
+	}
+	spec, err := json.Marshal(sweepJobSpec{Graph: req.Graph, V: req.V, Grid: grid})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	rec, enqueued, err := s.jobSched.Submit(r.Context(), jobs.Submission{
+		Key:      jobKey(entry.key, req.V, grid),
+		Kind:     "sweep",
+		Spec:     spec,
+		Priority: req.Priority,
+	})
+	if err != nil {
+		writeComputeError(w, r, err)
+		return
+	}
+	status := http.StatusAccepted
+	if !enqueued {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, JobSubmitResponse{Job: wireJob(rec, false), Deduped: !enqueued})
+}
+
+// handleJobGet is GET /v1/jobs/{id}: full job state including the
+// checkpointed partial points and, once done, the final sweep result.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if s.jobSched == nil {
+		writeError(w, http.StatusNotImplemented, CodeJobsDisabled, "durable jobs are disabled: start the server with -data-dir")
+		return
+	}
+	rec, ok := s.jobStore.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such job")
+		return
+	}
+	writeResult(w, r, wireJob(rec, true))
+}
+
+// handleJobList is GET /v1/jobs: jobs in submission order, paginated by an
+// opaque cursor (the last job's sequence number) and optionally filtered by
+// state.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	if s.jobSched == nil {
+		writeError(w, http.StatusNotImplemented, CodeJobsDisabled, "durable jobs are disabled: start the server with -data-dir")
+		return
+	}
+	q := r.URL.Query()
+	var opts jobs.ListOptions
+	if c := q.Get("cursor"); c != "" {
+		cur, err := strconv.ParseUint(c, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadBody, "cursor must be an unsigned integer")
+			return
+		}
+		opts.AfterSeq = cur
+	}
+	if l := q.Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, CodeBadBody, "limit must be a positive integer")
+			return
+		}
+		opts.Limit = n
+	}
+	if st := q.Get("state"); st != "" {
+		state := jobs.State(st)
+		switch state {
+		case jobs.StateQueued, jobs.StateRunning, jobs.StateDone, jobs.StateFailed, jobs.StateCanceled:
+			opts.State = state
+		default:
+			writeError(w, http.StatusBadRequest, CodeBadBody, fmt.Sprintf("unknown state %q", st))
+			return
+		}
+	}
+	recs, next := s.jobStore.List(opts)
+	resp := JobListResponse{Jobs: make([]WireJob, len(recs)), NextCursor: next}
+	for i, rec := range recs {
+		resp.Jobs[i] = wireJob(rec, false)
+	}
+	writeResult(w, r, resp)
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}: a queued job cancels
+// immediately; a running one has its context canceled and transitions once
+// the worker unwinds (poll GET until state settles).
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if s.jobSched == nil {
+		writeError(w, http.StatusNotImplemented, CodeJobsDisabled, "durable jobs are disabled: start the server with -data-dir")
+		return
+	}
+	rec, err := s.jobSched.Cancel(r.Context(), r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such job")
+		return
+	case errors.Is(err, jobs.ErrTerminal):
+		writeError(w, http.StatusConflict, CodeJobTerminal, "job already reached a terminal state")
+		return
+	case err != nil:
+		writeComputeError(w, r, err)
+		return
+	}
+	writeResult(w, r, wireJob(rec, false))
+}
+
+// wireJob renders a job record for the API. detail additionally includes
+// the checkpointed points (the list view stays light).
+func wireJob(rec *jobs.Record, detail bool) WireJob {
+	j := WireJob{
+		ID:         rec.ID,
+		Kind:       rec.Kind,
+		State:      string(rec.State),
+		Attempt:    rec.Attempt,
+		Priority:   rec.Priority,
+		Error:      rec.Error,
+		NextIndex:  rec.NextIndex,
+		Result:     json.RawMessage(rec.Result),
+		CreatedAt:  rec.CreatedUnixNano,
+		StartedAt:  rec.StartedUnixNano,
+		FinishedAt: rec.FinishedUnixNano,
+	}
+	var spec sweepJobSpec
+	if err := json.Unmarshal(rec.Spec, &spec); err == nil && spec.Grid > 0 {
+		j.TotalPoints = spec.Grid + 1
+	}
+	if detail {
+		j.Points = make([]WireSweepPoint, len(rec.Points))
+		for i, p := range rec.Points {
+			j.Points[i] = WireSweepPoint{W1: p.W1, U: p.U}
+		}
+	}
+	return j
+}
+
+// runJob executes one sweep job. It walks the grid point by point — the
+// same per-point arithmetic as sybil.SweepInstanceCtx, sharing the cached
+// core.Instance with the inline endpoints — checkpointing each completed
+// index through ckpt, and resuming from rec.NextIndex using the
+// checkpointed prefix verbatim. Because every quantity is exact and
+// serialized canonically, the final Result is bit-identical to the
+// /v1/sweep response of an uninterrupted run.
+func (s *Server) runJob(ctx context.Context, rec *jobs.Record, ckpt jobs.CheckpointFunc) ([]byte, error) {
+	var spec sweepJobSpec
+	if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+		return nil, fmt.Errorf("corrupt job spec: %w", err)
+	}
+	if s.collector != nil {
+		tr := s.collector.NewTrace("jobs.run")
+		ctx = tr.Context(ctx)
+		defer tr.Finish()
+	}
+	ctx, span := obs.Start(ctx, "jobs.sweep")
+	defer span.End()
+	if span != nil {
+		span.SetAttr("job", rec.ID)
+		span.SetAttr("grid", strconv.Itoa(spec.Grid))
+		if rec.NextIndex > 0 {
+			span.SetAttr("resume_from", strconv.Itoa(rec.NextIndex))
+		}
+	}
+	g, err := spec.Graph.Build()
+	if err != nil {
+		return nil, fmt.Errorf("job spec graph: %w", err)
+	}
+	entry, hit := s.cache.entryFor(CanonicalKey(g), g)
+	s.metrics.cacheLookup("/v1/jobs#run", hit)
+	in, err := entry.instance(ctx, spec.V)
+	if err != nil {
+		return nil, err
+	}
+
+	// The checkpointed prefix re-enters the final answer verbatim: parse it
+	// back to exact rationals (canonical strings round-trip losslessly).
+	type evaled struct{ w1, u numeric.Rat }
+	pts := make([]evaled, 0, spec.Grid+1)
+	for i, p := range rec.Points {
+		w1, err := DecodeRat(p.W1)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint %d: corrupt w1: %w", i, err)
+		}
+		u, err := DecodeRat(p.U)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint %d: corrupt u: %w", i, err)
+		}
+		pts = append(pts, evaled{w1, u})
+	}
+
+	W := in.W()
+	for i := rec.NextIndex; i <= spec.Grid; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := fault.Hit(ctx, fault.SiteSweepPoint); err != nil {
+			return nil, err
+		}
+		w1 := W.MulInt(int64(i)).DivInt(int64(spec.Grid))
+		ev, err := in.EvalSplitCtx(ctx, w1)
+		if err != nil {
+			return nil, err
+		}
+		if err := ckpt(i, []jobs.Point{{W1: EncodeRat(w1), U: EncodeRat(ev.U)}}); err != nil {
+			return nil, err
+		}
+		pts = append(pts, evaled{w1, ev.U})
+	}
+
+	// Best-point selection and the ratio rule mirror sybil.SweepInstanceCtx
+	// exactly, so job results agree with inline sweeps bit for bit.
+	resp := &SweepResponse{Points: make([]WireSweepPoint, len(pts))}
+	for i, p := range pts {
+		resp.Points[i] = WireSweepPoint{W1: EncodeRat(p.w1), U: EncodeRat(p.u)}
+	}
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if best.u.Less(p.u) {
+			best = p
+		}
+	}
+	honest := in.HonestU
+	var ratio numeric.Rat
+	switch {
+	case honest.Sign() > 0:
+		ratio = best.u.Div(honest)
+	case best.u.Sign() > 0:
+		return nil, fmt.Errorf("sweep job: positive attack utility %v from zero honest utility", best.u)
+	default:
+		ratio = numeric.One
+	}
+	resp.BestW1, resp.BestU = EncodeRat(best.w1), EncodeRat(best.u)
+	resp.Honest = EncodeRat(honest)
+	resp.Ratio = EncodeRat(ratio)
+	return json.Marshal(resp)
+}
+
+// writeJobsMetrics renders the jobs subsystem series on /metrics. No-op
+// when jobs are disabled, so the exposition only grows for servers that
+// opted in with -data-dir.
+func (s *Server) writeJobsMetrics(w io.Writer) {
+	if s.jobSched == nil {
+		return
+	}
+	ss := s.jobStore.Stats()
+	js := s.jobSched.Stats()
+
+	fmt.Fprint(w, "# HELP irshared_jobs_total Job state transitions, by state entered.\n# TYPE irshared_jobs_total counter\n")
+	states := make([]string, 0, len(js.Transitions))
+	for st := range js.Transitions {
+		states = append(states, string(st))
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		fmt.Fprintf(w, "irshared_jobs_total{state=%q} %d\n", st, js.Transitions[jobs.State(st)])
+	}
+	fmt.Fprint(w, "# HELP irshared_jobs_queue_depth Jobs waiting for a worker slot.\n# TYPE irshared_jobs_queue_depth gauge\n")
+	fmt.Fprintf(w, "irshared_jobs_queue_depth %d\n", js.QueueDepth)
+	fmt.Fprint(w, "# HELP irshared_jobs_running Jobs currently executing.\n# TYPE irshared_jobs_running gauge\n")
+	fmt.Fprintf(w, "irshared_jobs_running %d\n", js.Running)
+	fmt.Fprint(w, "# HELP irshared_jobs_resident Job records resident in the store.\n# TYPE irshared_jobs_resident gauge\n")
+	fmt.Fprintf(w, "irshared_jobs_resident %d\n", ss.Jobs)
+	fmt.Fprint(w, "# HELP irshared_jobs_deduped_total Submissions answered by an existing job.\n# TYPE irshared_jobs_deduped_total counter\n")
+	fmt.Fprintf(w, "irshared_jobs_deduped_total %d\n", js.Deduped)
+	fmt.Fprint(w, "# HELP irshared_jobs_recovered_total Jobs requeued by startup recovery.\n# TYPE irshared_jobs_recovered_total counter\n")
+	fmt.Fprintf(w, "irshared_jobs_recovered_total %d\n", js.Recovered)
+
+	fmt.Fprint(w, "# HELP irshared_job_age_seconds Queued-to-terminal job age.\n# TYPE irshared_job_age_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range jobs.AgeBuckets() {
+		cum += js.AgeCounts[i]
+		fmt.Fprintf(w, "irshared_job_age_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	fmt.Fprintf(w, "irshared_job_age_seconds_bucket{le=\"+Inf\"} %d\n", js.AgeCount)
+	fmt.Fprintf(w, "irshared_job_age_seconds_sum %g\n", js.AgeSum)
+	fmt.Fprintf(w, "irshared_job_age_seconds_count %d\n", js.AgeCount)
+
+	fmt.Fprint(w, "# HELP irshared_jobs_wal_bytes Bytes in the current WAL segment.\n# TYPE irshared_jobs_wal_bytes gauge\n")
+	fmt.Fprintf(w, "irshared_jobs_wal_bytes %d\n", ss.WALBytes)
+	fmt.Fprint(w, "# HELP irshared_jobs_wal_appends_total WAL frames appended.\n# TYPE irshared_jobs_wal_appends_total counter\n")
+	fmt.Fprintf(w, "irshared_jobs_wal_appends_total %d\n", ss.Appends)
+	fmt.Fprint(w, "# HELP irshared_jobs_wal_syncs_total Fsync'd WAL appends.\n# TYPE irshared_jobs_wal_syncs_total counter\n")
+	fmt.Fprintf(w, "irshared_jobs_wal_syncs_total %d\n", ss.Syncs)
+	fmt.Fprint(w, "# HELP irshared_jobs_compactions_total Snapshot compactions.\n# TYPE irshared_jobs_compactions_total counter\n")
+	fmt.Fprintf(w, "irshared_jobs_compactions_total %d\n", ss.Compactions)
+}

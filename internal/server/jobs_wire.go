@@ -1,0 +1,75 @@
+package server
+
+import "encoding/json"
+
+// Wire types of the /v1/jobs API: durable, resumable sweep jobs executed in
+// the background by the scheduler in internal/jobs. Submission is
+// content-addressed — the job ID derives from the canonical instance key
+// plus (v, grid) — so resubmitting the same sweep returns the existing job
+// instead of duplicating work.
+
+// JobSubmitRequest is the body of POST /v1/jobs: run the agent-V sweep of
+// Graph at Grid+1 points (0 = default 64) as a durable background job.
+// Priority orders the scheduler queue (higher first, FIFO within a
+// priority).
+type JobSubmitRequest struct {
+	Graph    WireGraph `json:"graph"`
+	V        int       `json:"v"`
+	Grid     int       `json:"grid,omitempty"`
+	Priority int       `json:"priority,omitempty"`
+}
+
+// sweepJobSpec is the persisted job specification: enough to re-derive the
+// computation after a restart. The graph is stored in its canonical wire
+// form so recovery does not depend on how the submitter spelled it.
+type sweepJobSpec struct {
+	Graph WireGraph `json:"graph"`
+	V     int       `json:"v"`
+	Grid  int       `json:"grid"`
+}
+
+// WireJob is the API view of one job. Points carries the checkpointed
+// prefix (grid indices [0, NextIndex)) and is populated only on the detail
+// view; Result is the final SweepResponse body once the job is done — a
+// recovered job's Result is bit-identical to the response an uninterrupted
+// /v1/sweep of the same request would have produced.
+type WireJob struct {
+	ID          string           `json:"id"`
+	Kind        string           `json:"kind"`
+	State       string           `json:"state"`
+	Attempt     int              `json:"attempt"`
+	Priority    int              `json:"priority,omitempty"`
+	Error       string           `json:"error,omitempty"`
+	NextIndex   int              `json:"next_index"`
+	TotalPoints int              `json:"total_points,omitempty"`
+	Points      []WireSweepPoint `json:"points,omitempty"`
+	Result      json.RawMessage  `json:"result,omitempty"`
+	CreatedAt   int64            `json:"created_unix_nano,omitempty"`
+	StartedAt   int64            `json:"started_unix_nano,omitempty"`
+	FinishedAt  int64            `json:"finished_unix_nano,omitempty"`
+}
+
+// JobSubmitResponse is the body of a POST /v1/jobs answer. Deduped reports
+// that the submission matched an existing queued, running, or done job and
+// no new work was enqueued (the HTTP status is 200 instead of 202).
+type JobSubmitResponse struct {
+	Job     WireJob `json:"job"`
+	Deduped bool    `json:"deduped,omitempty"`
+}
+
+// JobListResponse is the body of GET /v1/jobs: jobs in submission order.
+// NextCursor, when nonzero, is the cursor query parameter of the next page.
+type JobListResponse struct {
+	Jobs       []WireJob `json:"jobs"`
+	NextCursor uint64    `json:"next_cursor,omitempty"`
+}
+
+// Error codes of the jobs API (see the main catalogue in wire.go).
+const (
+	// CodeJobsDisabled: the server runs without a data directory, so the
+	// durable jobs API is not available (501). Start with -data-dir.
+	CodeJobsDisabled = "jobs_disabled"
+	// CodeJobTerminal: the operation needs a live job but the job already
+	// reached a terminal state (409) — e.g. canceling a finished job.
+	CodeJobTerminal = "job_terminal"
+)

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// Resume-token validation at the edges of its domain: the smallest legal
+// ring (n=3), the smallest legal grid (grid=1, two points), and tokens whose
+// embedded request does not match the one they are replayed against. Tokens
+// are minted with the server's own codec — package-internal access keeps the
+// tests independent of timing (no need to force a real partial response).
+
+// sweepWith posts a sweep with the given resume token and returns the
+// status plus decoded error (nil on 200).
+func sweepWith(t *testing.T, base string, req SweepRequest, tok resumeToken) (int, *ErrorResponse) {
+	t.Helper()
+	req.Resume = encodeResumeToken(tok)
+	status, raw := postJSON(t, base, "/v1/sweep", req)
+	if status == http.StatusOK {
+		return status, nil
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatalf("decode error body: %v\n%s", err, raw)
+	}
+	return status, &er
+}
+
+func TestResumeTokenEdgeCases(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxQueueDepth: -1})
+	ring := WireGraph{Ring: []string{"1", "2", "3"}} // minimal ring
+	g, err := ring.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CanonicalKey(g)
+	req := SweepRequest{Graph: ring, V: 1, Grid: 1} // single-step grid
+	good := resumeToken{Key: key, V: 1, Grid: 1}
+
+	// A full uninterrupted run of the tiny request, as the reference.
+	var want SweepResponse
+	mustPost(t, ts.URL, "/v1/sweep", req, &want)
+	if len(want.Points) != 2 {
+		t.Fatalf("grid=1 sweep has %d points, want 2", len(want.Points))
+	}
+
+	// Next=0 resumes from the start and must reproduce the whole response.
+	fromStart := req
+	fromStart.Resume = encodeResumeToken(good)
+	var fromZero SweepResponse
+	mustPost(t, ts.URL, "/v1/sweep", fromStart, &fromZero)
+	if len(fromZero.Points) != 2 || fromZero.Ratio != want.Ratio {
+		t.Fatalf("Next=0 resume diverged: %+v vs %+v", fromZero, want)
+	}
+
+	// Next=grid is the last valid index: exactly the final point remains.
+	tok := good
+	tok.Next = 1
+	tail := req
+	tail.Resume = encodeResumeToken(tok)
+	var fromOne SweepResponse
+	mustPost(t, ts.URL, "/v1/sweep", tail, &fromOne)
+	if fromOne.StartIndex != 1 || len(fromOne.Points) != 1 {
+		t.Fatalf("Next=grid resume: %+v", fromOne)
+	}
+	if fromOne.Points[0] != want.Points[1] {
+		t.Fatalf("resumed tail point %+v != reference %+v", fromOne.Points[0], want.Points[1])
+	}
+
+	// Out-of-range indices on the single-step grid: both sides rejected.
+	for _, next := range []int{-1, 2} {
+		tok := good
+		tok.Next = next
+		status, er := sweepWith(t, ts.URL, req, tok)
+		if status != http.StatusBadRequest || er.Code != CodePartialResult {
+			t.Fatalf("Next=%d: got %d %+v, want 400 %s", next, status, er, CodePartialResult)
+		}
+	}
+
+	// Grid mismatch: token minted for grid=1 replayed against other grids,
+	// including grid=0 (which the server defaults to 64 — the token must be
+	// compared against the effective grid, not the literal request field).
+	for _, grid := range []int{2, 64, 0} {
+		mismatched := req
+		mismatched.Grid = grid
+		status, er := sweepWith(t, ts.URL, mismatched, good)
+		if status != http.StatusBadRequest || er.Code != CodePartialResult {
+			t.Fatalf("grid=%d with grid=1 token: got %d %+v, want 400 %s", grid, status, er, CodePartialResult)
+		}
+	}
+	// ... and the exact complement: a grid=64 token against a grid=0 request
+	// must be ACCEPTED, because 0 means 64.
+	tok64 := resumeToken{Key: key, V: 1, Grid: 64, Next: 3}
+	defaulted := SweepRequest{Graph: ring, V: 1, Grid: 0}
+	if status, er := sweepWith(t, ts.URL, defaulted, tok64); status != http.StatusOK {
+		t.Fatalf("grid=64 token against defaulted grid: %d %+v", status, er)
+	}
+
+	// Agent mismatch on the minimal ring.
+	otherV := req
+	otherV.V = 2
+	if status, er := sweepWith(t, ts.URL, otherV, good); status != http.StatusBadRequest || er.Code != CodePartialResult {
+		t.Fatalf("agent mismatch: %d %+v", status, er)
+	}
+
+	// Key mismatch: same shape, one weight changed — canonicalization must
+	// distinguish them.
+	otherG := req
+	otherG.Graph = WireGraph{Ring: []string{"1", "2", "4"}}
+	if status, er := sweepWith(t, ts.URL, otherG, good); status != http.StatusBadRequest || er.Code != CodePartialResult {
+		t.Fatalf("key mismatch: %d %+v", status, er)
+	}
+
+	// Weight spelling must NOT matter: "2/1" canonicalizes to "2", so the
+	// token still matches.
+	respelled := req
+	respelled.Graph = WireGraph{Ring: []string{"1", "2/1", "3"}}
+	if status, er := sweepWith(t, ts.URL, respelled, good); status != http.StatusOK {
+		t.Fatalf("respelled graph rejected the token: %d %+v", status, er)
+	}
+
+	// Structurally broken tokens: bad base64, wrong version, wrong field
+	// count, non-numeric fields.
+	enc := func(raw string) string { return base64.RawURLEncoding.EncodeToString([]byte(raw)) }
+	for _, bad := range []string{
+		"%%%not-base64%%%",
+		encodeResumeToken(good) + "x",
+		enc("rs2|1|1|0|" + key), // unknown version
+		enc("rs1|1|1|" + key),   // missing a field
+		enc("rs1|1|1|abc|" + key),
+		enc("rs1|x|1|0|" + key),
+		enc("rs1|1|x|0|" + key),
+	} {
+		r := req
+		r.Resume = bad
+		status, raw := postJSON(t, ts.URL, "/v1/sweep", r)
+		var er ErrorResponse
+		if err := json.Unmarshal(raw, &er); err != nil {
+			t.Fatalf("decode error body: %v\n%s", err, raw)
+		}
+		if status != http.StatusBadRequest || er.Code != CodePartialResult {
+			t.Fatalf("malformed token %q: got %d %+v, want 400 %s", bad, status, er, CodePartialResult)
+		}
+	}
+}

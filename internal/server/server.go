@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/par"
 )
@@ -59,6 +60,11 @@ type Config struct {
 	// default — disables injection entirely; cmd/irshared only sets it when
 	// both -chaos and -chaos-allow are given.
 	Chaos *fault.Injector
+	// DataDir enables the durable /v1/jobs subsystem: the crash-safe job
+	// store (WAL + snapshot) lives here, and queued/running jobs found at
+	// startup are recovered and resumed from their last checkpoint. Empty —
+	// the default — disables the jobs API (501 jobs_disabled).
+	DataDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -114,10 +120,19 @@ type Server struct {
 	metrics   *metrics
 	collector *obs.Collector // nil when tracing is disabled
 	log       *slog.Logger
+
+	// jobStore/jobSched are the durable jobs subsystem, nil unless
+	// Config.DataDir is set.
+	jobStore *jobs.Store
+	jobSched *jobs.Scheduler
 }
 
-// New constructs a Server from cfg.
-func New(cfg Config) *Server {
+// New constructs a Server from cfg. With a DataDir configured it also opens
+// the durable job store, recovers any jobs a previous process left behind
+// (a failure here fails the boot — a broken store must not silently drop
+// acknowledged work), and starts the scheduler; call Close to flush and
+// release the store on shutdown.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	var col *obs.Collector
 	if cfg.TraceBuffer > 0 {
@@ -139,7 +154,52 @@ func New(cfg Config) *Server {
 	// Panics contained inside detached batch computations never reach the
 	// handler barrier, so the batcher reports them for panics_total here.
 	s.batch.onPanic = func() { s.metrics.panics.Add(1) }
-	return s
+	if cfg.DataDir != "" {
+		store, err := jobs.Open(cfg.DataDir, jobs.StoreConfig{})
+		if err != nil {
+			return nil, err
+		}
+		// The scheduler base context carries the chaos injector (when armed)
+		// into job execution, checkpoint appends, and recovery — the
+		// jobs.wal.append and jobs.recover sites fire there.
+		base := fault.ContextWith(context.Background(), cfg.Chaos)
+		sched, err := jobs.NewScheduler(jobs.SchedulerConfig{
+			Store:  store,
+			Pool:   s.pool,
+			Run:    s.runJob,
+			Base:   base,
+			Logger: cfg.Logger,
+		})
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		n, err := sched.Recover(base)
+		if err != nil {
+			sched.Close()
+			store.Close()
+			return nil, err
+		}
+		if n > 0 {
+			cfg.Logger.Info("recovered jobs", "count", n, "data_dir", cfg.DataDir)
+		}
+		sched.Start()
+		s.jobStore, s.jobSched = store, sched
+	}
+	return s, nil
+}
+
+// Close stops the job scheduler (running jobs checkpoint and requeue for
+// the next boot) and closes the job store. Safe on a server without jobs,
+// and safe to call after (or concurrently with) http.Server.Shutdown.
+func (s *Server) Close() error {
+	if s.jobSched != nil {
+		s.jobSched.Close()
+	}
+	if s.jobStore != nil {
+		return s.jobStore.Close()
+	}
+	return nil
 }
 
 // Collector exposes the server's trace collector (nil when tracing is
@@ -154,6 +214,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/utilities", s.instrument("/v1/utilities", s.handleUtilities))
 	mux.HandleFunc("POST /v1/ratio", s.instrument("/v1/ratio", s.handleRatio))
 	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.instrument("/v1/jobs", s.handleJobList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobCancel))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -368,6 +432,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		batchRuns:      s.batch.runs.Load(),
 		batchJoins:     s.batch.joins.Load(),
 	})
+	s.writeJobsMetrics(w)
 	if s.collector != nil {
 		s.collector.WritePrometheus(w, "irshared_")
 	}

@@ -1,0 +1,105 @@
+package repro_test
+
+import (
+	"context"
+	"testing"
+
+	"repro"
+)
+
+func certRing() *repro.Graph {
+	ws := []repro.Rat{
+		repro.NewRat(3, 1), repro.NewRat(1, 1), repro.NewRat(2, 1),
+		repro.NewRat(1, 1), repro.NewRat(5, 1),
+	}
+	return repro.Ring(ws)
+}
+
+// TestWithCertificate exercises the certified facade paths: each call
+// populates its Certificate field with a checked, independently
+// re-checkable certificate, and the certified answer is bit-identical to
+// the plain one.
+func TestWithCertificate(t *testing.T) {
+	ctx := context.Background()
+	g := certRing()
+
+	var c repro.Certificate
+	d, err := repro.Decompose(ctx, g, repro.WithCertificate(&c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Decomposition == nil {
+		t.Fatal("no decomposition certificate")
+	}
+	if err := repro.CheckCertificate(c.Decomposition); err != nil {
+		t.Fatalf("re-check: %v", err)
+	}
+	if len(c.Decomposition.Pairs) != len(d.Pairs) {
+		t.Fatalf("certificate has %d pairs, decomposition %d", len(c.Decomposition.Pairs), len(d.Pairs))
+	}
+
+	plain, err := repro.IncentiveRatio(ctx, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := repro.IncentiveRatio(ctx, g, 0, repro.WithCertificate(&c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratio.Equal(plain) {
+		t.Fatalf("certified ratio %v differs from plain %v", ratio, plain)
+	}
+	if c.Ratio == nil {
+		t.Fatal("no ratio certificate")
+	}
+	if err := repro.CheckCertificate(c.Ratio); err != nil {
+		t.Fatalf("re-check: %v", err)
+	}
+	if c.Ratio.Ratio != ratio.String() || !c.Ratio.LeqTwo {
+		t.Fatalf("certificate ratio %s leq_two=%v vs answer %v", c.Ratio.Ratio, c.Ratio.LeqTwo, ratio)
+	}
+
+	res, err := repro.RingSweep(ctx, g, 0, repro.WithGrid(8), repro.WithCertificate(&c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sweep == nil {
+		t.Fatal("no sweep certificate")
+	}
+	if err := repro.CheckCertificate(c.Sweep); err != nil {
+		t.Fatalf("re-check: %v", err)
+	}
+	if len(c.Sweep.Points) != len(res.Points) {
+		t.Fatalf("certificate covers %d points, sweep has %d", len(c.Sweep.Points), len(res.Points))
+	}
+
+	// Tampering with any certified quantity must be caught by the checker.
+	forged := *c.Ratio
+	forged.Honest = "1"
+	if err := repro.CheckCertificate(&forged); err == nil {
+		t.Fatal("forged certificate passed CheckCertificate")
+	}
+}
+
+// TestWithCertificateNonRing: certification follows the call's own
+// constraints — Decompose certifies any graph, IncentiveRatio still
+// requires a ring.
+func TestWithCertificateNonRing(t *testing.T) {
+	ctx := context.Background()
+	ws := []repro.Rat{repro.NewRat(2, 1), repro.NewRat(1, 3), repro.NewRat(4, 1)}
+	path := repro.Path(ws)
+
+	var c repro.Certificate
+	if _, err := repro.Decompose(ctx, path, repro.WithCertificate(&c)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Decomposition == nil {
+		t.Fatal("no decomposition certificate for a path graph")
+	}
+	if err := repro.CheckCertificate(c.Decomposition); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.IncentiveRatio(ctx, path, 0, repro.WithCertificate(&c)); err == nil {
+		t.Fatal("IncentiveRatio accepted a non-ring graph")
+	}
+}

@@ -7,8 +7,46 @@
 set -eux
 
 go build ./...
-go vet ./...
-go test -race ./...
+
+# go vet must be SILENT: fail on any finding, including diagnostics a vet
+# tool might print while still exiting zero.
+vet_out="$(go vet ./... 2>&1)" || { printf '%s\n' "$vet_out"; exit 1; }
+if [ -n "$vet_out" ]; then
+	printf 'go vet findings:\n%s\n' "$vet_out"
+	exit 1
+fi
+
+# Full suite under the race detector, with statement coverage recorded for
+# the per-package floor check below.
+cover_log="$(mktemp)"
+go test -race -count=1 -cover ./... >"$cover_log" 2>&1 || { cat "$cover_log"; exit 1; }
+cat "$cover_log"
+
+# Per-package coverage floors (coverage_floors.txt): no package may regress
+# below the floor recorded when it was last measured. The floors carry two
+# points of slack for run-to-run jitter; see the file header for the
+# raise-don't-lower policy.
+awk '
+	NR == FNR { if ($1 !~ /^#/ && NF >= 2) floor[$1] = $2; next }
+	/coverage:/ {
+		pkg = ($1 == "ok") ? $2 : $1
+		pct = ""
+		for (i = 1; i <= NF; i++)
+			if ($i ~ /%/) { pct = $i; sub(/%.*/, "", pct); break }
+		if (pkg in floor) {
+			seen[pkg] = 1
+			if (pct + 0 < floor[pkg] + 0) {
+				printf "coverage regression: %s at %s%% is below floor %s%%\n", pkg, pct, floor[pkg]
+				bad = 1
+			}
+		}
+	}
+	END {
+		for (p in floor) if (!(p in seen)) { printf "coverage floor for %s but no coverage line in test output\n", p; bad = 1 }
+		exit bad
+	}
+' coverage_floors.txt "$cover_log"
+rm -f "$cover_log"
 
 # Focused race pass on the observability layer and the server: the span
 # recorder is mutated from every solver goroutine and the trace collector
@@ -51,6 +89,18 @@ go run ./cmd/benchjson -bench 'WAL|Recover' -pkg ./internal/jobs -out BENCH_jobs
 
 # Fuzz smoke: run each native fuzz target briefly against its seed corpus
 # plus fresh mutations. Parser/codec regressions (panics, unbounded
-# allocation) surface here long before a full fuzzing campaign.
+# allocation) surface here long before a full fuzzing campaign. The
+# FuzzParseGraph corpus includes the near-tight frontier rings surfaced by
+# the certificate enumerator; FuzzCertRoundTrip probes the solver-free
+# certificate checker's parsing hardening and canonical round-trip.
 go test ./internal/graph -run '^$' -fuzz '^FuzzParseGraph$' -fuzztime 10s
 go test ./internal/server -run '^$' -fuzz '^FuzzRatDecode$' -fuzztime 10s
+go test ./internal/cert -run '^$' -fuzz '^FuzzCertRoundTrip$' -fuzztime 10s
+
+# Exhaustive small-n certification smoke: every canonical ring with n ≤ 6
+# vertices and integer weights in {1..3} — 604 instances up to symmetry —
+# is solved, certified (internal/cert/build), and independently re-verified
+# by the solver-free checker. The binary exits nonzero on any certification
+# failure or any certified ratio above the Theorem 8 bound 2; -eps 3/5
+# keeps the near-tight frontier (ratio ≥ 7/5) non-empty. ~12s.
+go run ./cmd/certenum -min-n 3 -max-n 6 -levels 3 -grid 8 -eps 3/5 -timeout 25s

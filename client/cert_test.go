@@ -1,0 +1,85 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/cert"
+	"repro/internal/cert/enum"
+	"repro/internal/server"
+)
+
+// TestClientCertRoundTrip: the Cert flag flows through the typed client,
+// and the returned certificates re-verify with the dependency-free checker
+// — the client never has to trust the server's arithmetic.
+func TestClientCertRoundTrip(t *testing.T) {
+	ts := newService(t, server.Config{MaxQueueDepth: -1})
+	c := New(ts.URL, fastBackoff(), WithSeed(1))
+	ctx := context.Background()
+	ring := Graph{Ring: []string{"3", "1", "2", "1", "5"}}
+
+	ratio, err := c.Ratio(ctx, &RatioRequest{Graph: ring, V: 0, Grid: 8, Cert: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio.Certificate == nil {
+		t.Fatal("no ratio certificate")
+	}
+	if err := cert.Check(ratio.Certificate); err != nil {
+		t.Fatalf("ratio certificate fails client-side check: %v", err)
+	}
+	if ratio.Certificate.Ratio != ratio.Ratio {
+		t.Fatalf("certificate ratio %s vs response %s", ratio.Certificate.Ratio, ratio.Ratio)
+	}
+
+	sweep, err := c.SweepAll(ctx, &SweepRequest{Graph: ring, V: 0, Grid: 6, Cert: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Certificate == nil {
+		t.Fatal("no sweep certificate on uninterrupted SweepAll")
+	}
+	if err := cert.Check(sweep.Certificate); err != nil {
+		t.Fatalf("sweep certificate fails client-side check: %v", err)
+	}
+
+	// Without the flag, no certificate rides along.
+	plain, err := c.Ratio(ctx, &RatioRequest{Graph: ring, V: 0, Grid: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Certificate != nil {
+		t.Fatal("certificate present without opt-in")
+	}
+}
+
+// TestClientEnumerateJob drives a kind "enumerate" durable job through the
+// typed client: submit, wait, decode the enum.Summary result.
+func TestClientEnumerateJob(t *testing.T) {
+	ts := newService(t, server.Config{MaxQueueDepth: -1, DataDir: t.TempDir()})
+	c := New(ts.URL, fastBackoff(), WithSeed(1))
+	ctx := context.Background()
+
+	sub, err := c.SubmitJob(ctx, &JobSubmitRequest{
+		Kind: "enumerate",
+		Enum: &EnumJobRequest{MinN: 3, MaxN: 3, Levels: 2, Grid: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.WaitJob(ctx, sub.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != JobDone {
+		t.Fatalf("job ended %s: %s", job.State, job.Error)
+	}
+	var sum enum.Summary
+	if err := json.Unmarshal(job.Result, &sum); err != nil {
+		t.Fatalf("result is not an enum.Summary: %v", err)
+	}
+	if sum.Instances == 0 || sum.Certified != sum.Instances || len(sum.Failures) != 0 {
+		t.Fatalf("summary: %+v", sum)
+	}
+}

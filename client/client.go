@@ -63,6 +63,9 @@ type (
 	SweepResponse = server.SweepResponse
 	// JobSubmitRequest is the body of POST /v1/jobs.
 	JobSubmitRequest = server.JobSubmitRequest
+	// EnumJobRequest parameterizes a kind "enumerate" job: exhaustive
+	// small-n certification over a rational weight lattice.
+	EnumJobRequest = server.EnumJobRequest
 	// JobSubmitResponse is the answer of POST /v1/jobs.
 	JobSubmitResponse = server.JobSubmitResponse
 	// Job is the API view of one durable background job.

@@ -28,16 +28,23 @@ func JobTerminal(state string) bool {
 	return state == JobDone || state == JobFailed || state == JobCanceled
 }
 
-// SubmitSweep enqueues a durable sweep job. Submission is content-addressed:
-// resubmitting an equivalent request (same canonical graph, v, and grid)
-// returns the existing job with Deduped set instead of new work, so retrying
-// a submission whose response was lost is safe.
-func (c *Client) SubmitSweep(ctx context.Context, req *JobSubmitRequest) (*JobSubmitResponse, error) {
+// SubmitJob enqueues a durable job of any kind — "sweep" (the default) or
+// "enumerate" (exhaustive small-n certification, parameterized by
+// req.Enum). Submission is content-addressed: resubmitting an equivalent
+// request returns the existing job with Deduped set instead of new work, so
+// retrying a submission whose response was lost is safe.
+func (c *Client) SubmitJob(ctx context.Context, req *JobSubmitRequest) (*JobSubmitResponse, error) {
 	var out JobSubmitResponse
 	if err := c.do(ctx, "/v1/jobs", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// SubmitSweep enqueues a durable sweep job (the historical name for
+// SubmitJob with the default kind).
+func (c *Client) SubmitSweep(ctx context.Context, req *JobSubmitRequest) (*JobSubmitResponse, error) {
+	return c.SubmitJob(ctx, req)
 }
 
 // GetJob fetches the detail view of one job, including the checkpointed

@@ -22,6 +22,11 @@ import (
 // client's max attempts by default, WithStallThreshold to change it. req is
 // not mutated. A caller-supplied Resume token is honored as the starting
 // point.
+//
+// With req.Cert set, an uninterrupted sweep's certificate passes through
+// unchanged; a resumed (multi-segment) sweep's merged response carries no
+// certificate, because the server only certifies the final segment's
+// indices — re-request without interruption to certify the full range.
 func (c *Client) SweepAll(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
 	r := *req
 	grid := r.Grid

@@ -2,9 +2,12 @@ package repro
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/allocation"
 	"repro/internal/bottleneck"
+	"repro/internal/cert"
+	"repro/internal/cert/build"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/sybil"
@@ -41,6 +44,38 @@ type (
 	SpanSnapshot = obs.SpanSnapshot
 )
 
+// Certificate re-exports and helpers: the exact-rational certificates of
+// internal/cert, verifiable with the solver-free checker without trusting
+// (or re-running) any solver code.
+type (
+	// DecompositionCertificate proves a bottleneck decomposition: cover
+	// structure, per-pair Hall-condition flow witnesses, utilities.
+	DecompositionCertificate = cert.DecompositionCert
+	// RatioCertificate proves an incentive-ratio answer end to end,
+	// including the Theorem 8 bound ratio ≤ 2.
+	RatioCertificate = cert.RatioCert
+	// SweepCertificate proves a split-utility sweep segment.
+	SweepCertificate = cert.SweepCert
+	// CheckableCertificate is any certificate CheckCertificate accepts.
+	CheckableCertificate = cert.Checkable
+)
+
+// CheckCertificate re-verifies a certificate in O(|certificate|) exact
+// arithmetic, without invoking any solver code. It is the trust boundary:
+// a certificate that passes proves its claims regardless of where it came
+// from.
+func CheckCertificate(c CheckableCertificate) error { return cert.Check(c) }
+
+// Certificate receives the certificates of one facade call made with
+// WithCertificate. Only the field matching the call is populated:
+// Decomposition by Decompose, Ratio by IncentiveRatio, Sweep by RingSweep.
+// Every populated certificate has already passed CheckCertificate.
+type Certificate struct {
+	Decomposition *DecompositionCertificate
+	Ratio         *RatioCertificate
+	Sweep         *SweepCertificate
+}
+
 // Option configures one facade call (Decompose, Allocate, IncentiveRatio,
 // RingSweep). Options that a call does not use are ignored, so a shared
 // option slice can be reused across calls.
@@ -53,6 +88,7 @@ type callOptions struct {
 	grid     int
 	rec      Recorder
 	dec      *Decomposition
+	cert     *Certificate
 }
 
 func gatherOptions(opts []Option) callOptions {
@@ -107,6 +143,29 @@ func WithDecomposition(d *Decomposition) Option {
 	return func(o *callOptions) { o.dec = d }
 }
 
+// WithCertificate asks the call to also build an exact-rational certificate
+// of its answer into dst (the field matching the call; see Certificate).
+// The certificate is self-checked with CheckCertificate before the call
+// returns — a facade answer never ships with an unverified certificate —
+// and can be re-checked at any time, serialized, or handed to a third
+// party. Answers are bit-identical with and without certification; the
+// extra cost is the builder's witness flows. A nil dst disables the option.
+func WithCertificate(dst *Certificate) Option {
+	return func(o *callOptions) { o.cert = dst }
+}
+
+// selfCheck gates every facade-built certificate behind the solver-free
+// checker before it reaches the caller.
+func selfCheck(c CheckableCertificate, err error) error {
+	if err != nil {
+		return err
+	}
+	if err := cert.Check(c); err != nil {
+		return fmt.Errorf("repro: built certificate failed its self-check: %w", err)
+	}
+	return nil
+}
+
 // decompose is the one shared decomposition path of the facade.
 func (o callOptions) decompose(ctx context.Context, g *Graph) (*Decomposition, error) {
 	if o.parallel {
@@ -123,7 +182,18 @@ func Decompose(ctx context.Context, g *Graph, opts ...Option) (*Decomposition, e
 	o := gatherOptions(opts)
 	ctx, finish := o.traced(ctx, "repro.decompose")
 	defer finish()
-	return o.decompose(ctx, g)
+	d, err := o.decompose(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	if o.cert != nil {
+		dc, err := build.Decomposition(ctx, g, d)
+		if err := selfCheck(dc, err); err != nil {
+			return nil, err
+		}
+		o.cert.Decomposition = dc
+	}
+	return d, nil
 }
 
 // Allocate runs the BD Allocation Mechanism (Definition 5): the exact
@@ -153,7 +223,25 @@ func IncentiveRatio(ctx context.Context, g *Graph, v int, opts ...Option) (Rat, 
 	o := gatherOptions(opts)
 	ctx, finish := o.traced(ctx, "repro.incentive_ratio")
 	defer finish()
-	return core.RingRatioCtx(ctx, g, v, core.OptimizeOptions{Grid: o.grid, Workers: o.workers})
+	if o.cert == nil {
+		return core.RingRatioCtx(ctx, g, v, core.OptimizeOptions{Grid: o.grid, Workers: o.workers})
+	}
+	// The certified path runs the identical instance + optimizer pipeline as
+	// RingRatioCtx, keeping the intermediate results the builder needs.
+	in, err := core.NewInstanceCtx(ctx, g, v)
+	if err != nil {
+		return Rat{}, err
+	}
+	opt, err := in.OptimizeCtx(ctx, core.OptimizeOptions{Grid: o.grid, Workers: o.workers})
+	if err != nil {
+		return Rat{}, err
+	}
+	rc, err := build.Ratio(ctx, in, opt)
+	if err := selfCheck(rc, err); err != nil {
+		return Rat{}, err
+	}
+	o.cert.Ratio = rc
+	return opt.Ratio, nil
 }
 
 // SweepOptions tunes the low-level sybil sweep; SweepPoint and SweepResult
@@ -171,7 +259,26 @@ func RingSweep(ctx context.Context, g *Graph, v int, opts ...Option) (*SweepResu
 	o := gatherOptions(opts)
 	ctx, finish := o.traced(ctx, "repro.ring_sweep")
 	defer finish()
-	return sybil.RingSweepCtx(ctx, g, v, sybil.SweepOptions{Grid: o.grid, Workers: o.workers})
+	res, err := sybil.RingSweepCtx(ctx, g, v, sybil.SweepOptions{Grid: o.grid, Workers: o.workers})
+	if err != nil {
+		return nil, err
+	}
+	if o.cert != nil && !res.Partial && len(res.Points) > 0 {
+		grid := o.grid
+		if grid <= 0 {
+			grid = 64 // sybil's documented default
+		}
+		in, err := core.NewInstanceCtx(ctx, g, v)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := build.Sweep(ctx, in, res, grid)
+		if err := selfCheck(sc, err); err != nil {
+			return nil, err
+		}
+		o.cert.Sweep = sc
+	}
+	return res, nil
 }
 
 // Deprecated wrappers preserving the pre-options call shapes. Each is a

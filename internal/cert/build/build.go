@@ -1,0 +1,278 @@
+// Package build constructs the exact-rational certificates defined by
+// internal/cert from solver answers.
+//
+// The builder is the trusted-side counterpart of cert.Check: it runs next
+// to the solvers (re-using their decompositions and memoized split
+// evaluations) and emits self-contained certificates that a dependency-free
+// checker can verify without re-running anything. The only genuinely new
+// computation here is the per-pair Hall-condition flow witness, obtained by
+// solving the pair's bipartite demand/supply network exactly — if the
+// decomposition is correct the witness always exists (LP duality), so a
+// failure to saturate is reported as an error rather than papered over.
+package build
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bottleneck"
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/maxflow"
+	"repro/internal/numeric"
+	"repro/internal/sybil"
+)
+
+// InstanceOf renders g as a certificate instance (canonical weight strings,
+// sorted edge list).
+func InstanceOf(g *graph.Graph) cert.Instance {
+	ws := make([]string, g.N())
+	for v := 0; v < g.N(); v++ {
+		ws[v] = g.Weight(v).String()
+	}
+	return cert.Instance{N: g.N(), Weights: ws, Edges: g.Edges()}
+}
+
+// Decomposition certifies dec as the bottleneck decomposition of g: the
+// cover with one Hall-condition flow witness per pair, plus the Proposition
+// 6 utilities.
+func Decomposition(ctx context.Context, g *graph.Graph, dec *bottleneck.Decomposition) (*cert.DecompositionCert, error) {
+	c := &cert.DecompositionCert{
+		Schema:   cert.SchemaDecomposition,
+		Instance: InstanceOf(g),
+		Pairs:    make([]cert.PairCert, 0, len(dec.Pairs)),
+	}
+	active := make([]bool, g.N())
+	for v := range active {
+		active[v] = true
+	}
+	edges := g.Edges()
+	for i := range dec.Pairs {
+		p := &dec.Pairs[i]
+		w, err := witness(ctx, g, edges, active, p.Alpha)
+		if err != nil {
+			return nil, fmt.Errorf("cert/build: pair %d: %w", i, err)
+		}
+		c.Pairs = append(c.Pairs, cert.PairCert{
+			B:       append([]int(nil), p.B...),
+			C:       append([]int(nil), p.C...),
+			Alpha:   p.Alpha.String(),
+			Witness: w,
+		})
+		for _, v := range p.B {
+			active[v] = false
+		}
+		for _, v := range p.C {
+			active[v] = false
+		}
+	}
+	us := dec.Utilities(g)
+	c.Utilities = make([]string, len(us))
+	for v, u := range us {
+		c.Utilities[v] = u.String()
+	}
+	return c, nil
+}
+
+// witness builds the Hall-condition flow witness for one pair: over the
+// residual graph (the still-active vertices) it routes α·w(v) out of every
+// vertex into the supplies w(u) of its neighbors by solving
+//
+//	s → L(v) with capacity α·w(v),  L(v) → R(u) (∞) per residual edge,
+//	R(u) → t with capacity w(u)
+//
+// exactly. A maximum flow saturating every source arc certifies
+// w(Γ(S) ∩ V_i) ≥ α·w(S) for all subsets S; only the L → R flows are
+// recorded (the checker re-derives the demand and supply sides).
+func witness(ctx context.Context, g *graph.Graph, edges [][2]int, active []bool, alpha numeric.Rat) ([]cert.FlowEdge, error) {
+	if alpha.IsZero() {
+		return nil, nil // every demand is zero; the empty witness verifies
+	}
+	total := numeric.Zero
+	for v, a := range active {
+		if a {
+			total = total.Add(g.Weight(v))
+		}
+	}
+	total = total.Mul(alpha)
+	if total.IsZero() {
+		return nil, nil // zero-weight residual cluster
+	}
+	// Node layout: 0 = source, 1 = sink, 2+v = demand side of v,
+	// 2+n+v = supply side of v. Inactive vertices get no arcs.
+	n := g.N()
+	nw := maxflow.NewNetwork(2+2*n, 0, 1)
+	for v := 0; v < n; v++ {
+		if !active[v] {
+			continue
+		}
+		nw.AddEdge(0, 2+v, maxflow.Finite(alpha.Mul(g.Weight(v))))
+		nw.AddEdge(2+n+v, 1, maxflow.Finite(g.Weight(v)))
+	}
+	type arcRef struct{ from, to, id int }
+	arcs := make([]arcRef, 0, 2*len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if !active[u] || !active[v] {
+			continue
+		}
+		arcs = append(arcs, arcRef{u, v, nw.AddEdge(2+u, 2+n+v, maxflow.Inf)})
+		arcs = append(arcs, arcRef{v, u, nw.AddEdge(2+v, 2+n+u, maxflow.Inf)})
+	}
+	if got := nw.SolveCtx(ctx, maxflow.Dinic); !got.Equal(total) {
+		return nil, fmt.Errorf("cert/build: Hall witness infeasible: routed %v of demand %v (α is not a valid lower bound for this pair)", got, total)
+	}
+	out := make([]cert.FlowEdge, 0, len(arcs))
+	for _, a := range arcs {
+		if f := nw.Flow(a.id); f.Sign() > 0 {
+			out = append(out, cert.FlowEdge{From: a.from, To: a.to, Flow: f.String()})
+		}
+	}
+	return out, nil
+}
+
+// Split certifies one evaluated configuration P_v(w1, w2).
+func Split(ctx context.Context, ev *core.PathEval) (*cert.SplitCert, error) {
+	pc, err := Decomposition(ctx, ev.Path, ev.Dec)
+	if err != nil {
+		return nil, err
+	}
+	return &cert.SplitCert{
+		W1:   ev.W1.String(),
+		W2:   ev.W2.String(),
+		Path: *pc,
+		U1:   ev.U1.String(),
+		U2:   ev.U2.String(),
+		U:    ev.U.String(),
+	}, nil
+}
+
+// Ratio certifies a completed split optimization end to end: ring cover,
+// best split, per-piece bests with exact closed forms where they reproduce
+// the best value, and the breakpoint-bracket evaluations that close the
+// candidate maximum. The certificate's candidate set mirrors the
+// optimizer's exactly, so cert.Check's max-equality test is an identity,
+// not an approximation.
+func Ratio(ctx context.Context, in *core.Instance, opt *core.OptResult) (*cert.RatioCert, error) {
+	ringCert, err := Decomposition(ctx, in.G, in.Dec)
+	if err != nil {
+		return nil, err
+	}
+	rc := &cert.RatioCert{
+		Schema: cert.SchemaRatio,
+		Ring:   *ringCert,
+		V:      in.V,
+		Honest: in.HonestU.String(),
+		Ratio:  opt.Ratio.String(),
+		LeqTwo: opt.Ratio.LessEq(numeric.Two),
+	}
+	best, err := Split(ctx, opt.BestEval)
+	if err != nil {
+		return nil, err
+	}
+	rc.Best = *best
+	W := in.W()
+	for i := range opt.Pieces {
+		p := &opt.Pieces[i]
+		ev, err := in.EvalSplitCtx(ctx, p.BestW1)
+		if err != nil {
+			return nil, err
+		}
+		pb, err := Split(ctx, ev)
+		if err != nil {
+			return nil, err
+		}
+		pcert := cert.PieceCert{
+			Lo:        p.Lo.String(),
+			Hi:        p.Hi.String(),
+			Signature: p.Signature,
+			SamePair:  p.SamePair,
+			Best:      *pb,
+		}
+		mid := p.Lo.Add(p.Hi).DivInt(2)
+		evMid, err := in.EvalSplitCtx(ctx, mid)
+		if err != nil {
+			return nil, err
+		}
+		if rf, ok := pieceModel(evMid, W); ok {
+			if num, den, exact := rf.exactAt(p.BestW1, p.BestU); exact {
+				pcert.Num, pcert.Den, pcert.FormulaExact = num, den, true
+			}
+		}
+		rc.Pieces = append(rc.Pieces, pcert)
+	}
+	// The gaps between consecutive pieces are the breakpoint brackets; the
+	// optimizer evaluated both endpoints of every bracket, and the checker
+	// demands them, so certify each (deduplicated — a snapped bracket can
+	// collapse onto a shared endpoint).
+	seen := make(map[string]bool)
+	for i := 0; i+1 < len(opt.Pieces); i++ {
+		for _, w1 := range []numeric.Rat{opt.Pieces[i].Hi, opt.Pieces[i+1].Lo} {
+			key := w1.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			ev, err := in.EvalSplitCtx(ctx, w1)
+			if err != nil {
+				return nil, err
+			}
+			bc, err := Split(ctx, ev)
+			if err != nil {
+				return nil, err
+			}
+			rc.Boundary = append(rc.Boundary, *bc)
+		}
+	}
+	rc.Chain = []string{
+		fmt.Sprintf("honest = U_v(ring) = %s  (ring bottleneck cover, Prop. 6)", rc.Honest),
+		fmt.Sprintf("U(w1*) = U1 + U2 = %s at w1* = %s  (path bottleneck cover)", rc.Best.U, rc.Best.W1),
+		fmt.Sprintf("U(w1) <= U(w1*) over %d structure pieces and %d breakpoint evaluations", len(rc.Pieces), len(rc.Boundary)),
+		fmt.Sprintf("ratio = U(w1*)/honest = %s <= 2  (Theorem 8)", rc.Ratio),
+	}
+	return rc, nil
+}
+
+// Sweep certifies a (possibly partial) sweep result produced on in. Grid is
+// the sweep's grid parameter (the result stores only the covered index
+// range). Point evaluations are served from the instance's memoization when
+// the certificate is built right after the sweep.
+func Sweep(ctx context.Context, in *core.Instance, res *sybil.SweepResult, grid int) (*cert.SweepCert, error) {
+	if len(res.Points) == 0 {
+		return nil, fmt.Errorf("cert/build: cannot certify an empty sweep")
+	}
+	ringCert, err := Decomposition(ctx, in.G, in.Dec)
+	if err != nil {
+		return nil, err
+	}
+	sc := &cert.SweepCert{
+		Schema:    cert.SchemaSweep,
+		Ring:      *ringCert,
+		V:         in.V,
+		Grid:      grid,
+		Start:     res.Start,
+		BestIndex: res.BestIndex,
+		Honest:    in.HonestU.String(),
+		Ratio:     res.Ratio.String(),
+		LeqTwo:    res.Ratio.LessEq(numeric.Two),
+		Points:    make([]cert.SplitCert, 0, len(res.Points)),
+	}
+	for _, p := range res.Points {
+		ev, err := in.EvalSplitCtx(ctx, p.W1)
+		if err != nil {
+			return nil, err
+		}
+		s, err := Split(ctx, ev)
+		if err != nil {
+			return nil, err
+		}
+		sc.Points = append(sc.Points, *s)
+	}
+	sc.Chain = []string{
+		fmt.Sprintf("honest = U_v(ring) = %s  (ring bottleneck cover, Prop. 6)", sc.Honest),
+		fmt.Sprintf("U(w1_i) certified at %d grid points, best at index %d", len(sc.Points), sc.BestIndex),
+		fmt.Sprintf("ratio = best/honest = %s <= 2  (Theorem 8)", sc.Ratio),
+	}
+	return sc, nil
+}

@@ -1,0 +1,188 @@
+package build
+
+import (
+	"repro/internal/bottleneck"
+	"repro/internal/core"
+	"repro/internal/numeric"
+)
+
+// This file derives the exact closed form of a structure piece's objective
+// U(w1) = Num(w1)/Den(w1) — the rational-function model the optimizer uses
+// in float64 (core.pieceFormula), rebuilt here in exact arithmetic so the
+// certificate can carry it and the checker can re-evaluate it. Within a
+// piece only w1 and w2 = W − w1 vary; each identity's utility is a Möbius
+// function of its own weight with constants read off the pair containing
+// it, and the two identities combine by polynomial fraction addition.
+
+// poly is a polynomial in w1 with ascending exact coefficients.
+type poly []numeric.Rat
+
+func polyAdd(a, b poly) poly {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	out := make(poly, len(a))
+	copy(out, a)
+	for i, c := range b {
+		out[i] = out[i].Add(c)
+	}
+	return out
+}
+
+func polyMul(a, b poly) poly {
+	out := make(poly, len(a)+len(b)-1)
+	for i := range out {
+		out[i] = numeric.Zero
+	}
+	for i, ca := range a {
+		if ca.IsZero() {
+			continue
+		}
+		for j, cb := range b {
+			out[i+j] = out[i+j].Add(ca.Mul(cb))
+		}
+	}
+	return out
+}
+
+// polyTrim drops trailing zero coefficients, keeping at least one.
+func polyTrim(p poly) poly {
+	n := len(p)
+	for n > 1 && p[n-1].IsZero() {
+		n--
+	}
+	return p[:n]
+}
+
+// polyEval evaluates p at x by Horner's rule.
+func polyEval(p poly, x numeric.Rat) numeric.Rat {
+	acc := numeric.Zero
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = acc.Mul(x).Add(p[i])
+	}
+	return acc
+}
+
+// ratFunc is a rational function Num(w1)/Den(w1).
+type ratFunc struct{ num, den poly }
+
+func (r ratFunc) add(o ratFunc) ratFunc {
+	return ratFunc{
+		num: polyAdd(polyMul(r.num, o.den), polyMul(o.num, r.den)),
+		den: polyMul(r.den, o.den),
+	}
+}
+
+// exactAt checks Num(w1)/Den(w1) == want and, on success, returns the
+// trimmed canonical coefficient strings within the certificate's degree
+// caps (numerator ≤ cubic, denominator ≤ quadratic). A pole at w1, a value
+// mismatch (the midpoint structure did not extend to w1 — brackets hold
+// breakpoint dust) or an out-of-cap degree all return ok = false: the piece
+// is then certified by its exact best evaluation alone.
+func (r ratFunc) exactAt(w1, want numeric.Rat) (num, den []string, ok bool) {
+	dv := polyEval(r.den, w1)
+	if dv.IsZero() {
+		return nil, nil, false
+	}
+	if !polyEval(r.num, w1).Equal(want.Mul(dv)) {
+		return nil, nil, false
+	}
+	tn, td := polyTrim(r.num), polyTrim(r.den)
+	if len(tn) > 4 || len(td) > 3 {
+		return nil, nil, false
+	}
+	num = make([]string, len(tn))
+	for i, c := range tn {
+		num[i] = c.String()
+	}
+	den = make([]string, len(td))
+	for i, c := range td {
+		den[i] = c.String()
+	}
+	return num, den, true
+}
+
+// pieceModel builds the exact closed form of the piece containing ev (the
+// piece's midpoint evaluation) on a ring with attacker weight W. It mirrors
+// core's float pieceFormula case for case; ok is false only when the model
+// degenerates (a zero constant denominator on an all-constant case).
+func pieceModel(ev *core.PathEval, W numeric.Rat) (ratFunc, bool) {
+	i1, i2 := ev.Dec.PairIndexOf(ev.V1), ev.Dec.PairIndexOf(ev.V2)
+	c1, c2 := ev.Dec.ClassOf(ev.V1), ev.Dec.ClassOf(ev.V2)
+	neg1 := numeric.FromInt(-1)
+
+	pairW := func(idx int) (wB, wC numeric.Rat) {
+		pair := ev.Dec.Pairs[idx]
+		wB, wC = numeric.Zero, numeric.Zero
+		for _, u := range pair.B {
+			wB = wB.Add(ev.Path.Weight(u))
+		}
+		for _, u := range pair.C {
+			wC = wC.Add(ev.Path.Weight(u))
+		}
+		return wB, wC
+	}
+
+	if i1 == i2 {
+		wB, wC := pairW(i1)
+		w1m, w2m := ev.W1, ev.W2
+		w1p := poly{numeric.Zero, numeric.One} // w1
+		w2p := poly{W, neg1}                   // W − w1
+		switch {
+		case c1 == bottleneck.ClassBoth && c2 == bottleneck.ClassBoth:
+			return ratFunc{num: poly{W}, den: poly{numeric.One}}, true
+		case c1.IsC() && c2.IsC():
+			// α = (w(C∖{v¹,v²}) + W)/w(B) is constant: U = W·w(B)/(kc + W).
+			d := wC.Sub(w1m).Sub(w2m).Add(W)
+			if d.IsZero() {
+				return ratFunc{}, false
+			}
+			return ratFunc{num: poly{W.Mul(wB)}, den: poly{d}}, true
+		case c1.IsB() && c2.IsB():
+			d := wB.Sub(w1m).Sub(w2m).Add(W)
+			if d.IsZero() {
+				return ratFunc{}, false
+			}
+			return ratFunc{num: poly{W.Mul(wC)}, den: poly{d}}, true
+		case c1.IsB() && c2.IsC():
+			// α(w1) = (kc + W − w1)/(kb + w1); U = w1·α + (W − w1)/α.
+			kb, kc := wB.Sub(w1m), wC.Sub(w2m)
+			a := poly{kc.Add(W), neg1}
+			b := poly{kb, numeric.One}
+			num := polyAdd(polyMul(w1p, polyMul(a, a)), polyMul(w2p, polyMul(b, b)))
+			return ratFunc{num: num, den: polyMul(a, b)}, true
+		default: // c1 C, c2 B
+			kc, kb := wC.Sub(w1m), wB.Sub(w2m)
+			a := poly{kc, numeric.One}
+			b := poly{kb.Add(W), neg1}
+			num := polyAdd(polyMul(w1p, polyMul(b, b)), polyMul(w2p, polyMul(a, a)))
+			return ratFunc{num: num, den: polyMul(a, b)}, true
+		}
+	}
+
+	// Distinct pairs: each identity is an independent Möbius function of
+	// its own weight, u(w) = w·P/(q + w); identity 2's weight is W − w1.
+	single := func(idx int, cls bottleneck.Class, wm numeric.Rat, atW2 bool) ratFunc {
+		if cls == bottleneck.ClassBoth {
+			if atW2 {
+				return ratFunc{num: poly{W, neg1}, den: poly{numeric.One}}
+			}
+			return ratFunc{num: poly{numeric.Zero, numeric.One}, den: poly{numeric.One}}
+		}
+		wB, wC := pairW(idx)
+		var p, q numeric.Rat
+		if cls.IsC() {
+			p, q = wB, wC.Sub(wm)
+		} else {
+			p, q = wC, wB.Sub(wm)
+		}
+		if atW2 {
+			// (W − w1)·P / (q + W − w1)
+			return ratFunc{num: poly{W.Mul(p), p.Mul(neg1)}, den: poly{q.Add(W), neg1}}
+		}
+		return ratFunc{num: poly{numeric.Zero, p}, den: poly{q, numeric.One}}
+	}
+	u1 := single(i1, c1, ev.W1, false)
+	u2 := single(i2, c2, ev.W2, true)
+	return u1.add(u2), true
+}

@@ -1,0 +1,181 @@
+// Package cert defines machine-checkable certificates for the answers the
+// resource-sharing solvers produce — bottleneck decompositions, best-split
+// incentive ratios, and sweep curves — together with a small, dependency-free
+// checker that verifies a certificate without re-running any solver.
+//
+// A certificate is self-contained: it embeds the exact instance it speaks
+// about (vertex weights and edges as canonical rational strings), the
+// bottleneck cover (every pair B_i, C_i with its α_i), and, per pair, a
+// Hall-condition flow witness — a feasible fractional assignment routing
+// α_i·w(v) out of every vertex v of the residual graph V_i into the supplies
+// w(u) of its neighbors. By LP duality (König/Hall), such an assignment
+// exists iff
+//
+//	∀ ∅ ≠ S ⊆ V_i:  w(Γ(S) ∩ V_i) ≥ α_i · w(S),
+//
+// i.e. iff α_i is a lower bound on the expansion ratio of every subset of
+// the residual graph. Together with the arithmetic identity
+// α_i = w(C_i)/w(B_i) (so B_i achieves the bound) and the strictly
+// increasing α chain, the witnesses pin the recorded pairs to the canonical
+// maximal bottleneck decomposition: a strictly larger bottleneck B* ⊋ B_i
+// would leave a set of ratio α_i alive in V_{i+1}, contradicting pair i+1's
+// witness. The inequality chain of a ratio certificate then closes the
+// argument: honest utility read off the ring cover, best-split utility read
+// off a path cover, ratio = best/honest compared against 2 exactly.
+//
+// Check verifies all of this in time linear in the certificate (plus the
+// per-pair adjacency walks, which the witnesses dominate on positive-weight
+// instances), using only the Go standard library — no solver package is
+// imported, so a checker pass is independent evidence, not a replay.
+package cert
+
+// Schema version strings. A certificate whose Schema does not match the
+// checker's expectation is rejected before any arithmetic runs.
+const (
+	// SchemaDecomposition tags a DecompositionCert.
+	SchemaDecomposition = "bd-cert/v1"
+	// SchemaRatio tags a RatioCert.
+	SchemaRatio = "ratio-cert/v1"
+	// SchemaSweep tags a SweepCert.
+	SchemaSweep = "sweep-cert/v1"
+)
+
+// Instance is the exact instance a certificate speaks about: vertex weights
+// as canonical rational strings ("n" or "n/d", lowest terms) and the sorted
+// undirected edge list. It deliberately mirrors the server's canonical wire
+// encoding so certificates and cache keys agree on instance identity.
+type Instance struct {
+	N       int      `json:"n"`
+	Weights []string `json:"weights"`
+	Edges   [][2]int `json:"edges"`
+}
+
+// FlowEdge is one arc of a Hall-condition flow witness: Flow units routed
+// from the demand side of From to the supply side of To, where (From, To)
+// must be an edge of the residual graph.
+type FlowEdge struct {
+	From int    `json:"from"`
+	To   int    `json:"to"`
+	Flow string `json:"flow"`
+}
+
+// PairCert is one bottleneck pair (B_i, C_i, α_i) together with the flow
+// witness proving that no subset of the residual graph V_i has expansion
+// ratio below α_i. The witness may be empty when every demand is zero
+// (α_i = 0, or a trailing zero-weight cluster).
+type PairCert struct {
+	B       []int      `json:"b"`
+	C       []int      `json:"c"`
+	Alpha   string     `json:"alpha"`
+	Witness []FlowEdge `json:"witness,omitempty"`
+}
+
+// DecompositionCert certifies a bottleneck decomposition: the embedded
+// instance, the cover (pairs in extraction order), and every agent's
+// equilibrium utility (Proposition 6: w·α for B class, w/α for C class).
+type DecompositionCert struct {
+	Schema   string     `json:"schema"`
+	Instance Instance   `json:"instance"`
+	Pairs    []PairCert `json:"pairs"`
+	// Utilities[v] is agent v's equilibrium utility, derivable from the
+	// cover; the checker re-derives and compares.
+	Utilities []string `json:"utilities"`
+}
+
+// SplitCert certifies one evaluated Sybil split P_v(w1, w2): the derived
+// path instance (identity v¹ at position 0 with weight W1, the ring interior
+// in order, identity v² at the far end with weight W2), its certified
+// decomposition, and the two identity utilities.
+type SplitCert struct {
+	W1   string            `json:"w1"`
+	W2   string            `json:"w2"`
+	Path DecompositionCert `json:"path"`
+	U1   string            `json:"u1"`
+	U2   string            `json:"u2"`
+	U    string            `json:"u"`
+}
+
+// PieceCert is one maximal interval of splits sharing a decomposition
+// structure (the ⟨a_i, b_i⟩ intervals of the paper's Section III-B), with
+// the exact closed form of the attacker's utility on the piece and the best
+// split found inside it.
+//
+// Num and Den are the ascending coefficients of the piece's closed form
+// U(w1) = Num(w1)/Den(w1), exact rationals read off the pair containing each
+// identity (numerator degree ≤ 3, denominator ≤ 2). FormulaExact reports
+// that evaluating the closed form at Best.W1 reproduces Best.U exactly; the
+// checker enforces the equation whenever the flag is set.
+type PieceCert struct {
+	Lo           string    `json:"lo"`
+	Hi           string    `json:"hi"`
+	Signature    string    `json:"signature,omitempty"`
+	SamePair     bool      `json:"same_pair,omitempty"`
+	Num          []string  `json:"num,omitempty"`
+	Den          []string  `json:"den,omitempty"`
+	FormulaExact bool      `json:"formula_exact,omitempty"`
+	Best         SplitCert `json:"best"`
+}
+
+// RatioCert certifies a /v1/ratio answer end to end:
+//
+//   - Ring certifies the honest side: the ring's bottleneck cover and the
+//     attacker's equilibrium utility (Honest = Ring.Utilities[V]),
+//   - Best certifies the reported best split exactly,
+//   - Pieces and Boundary certify the optimizer's candidate set: the pieces
+//     tile [0, w_v] up to breakpoint brackets whose endpoints appear in
+//     Boundary, and the checker verifies that Best.U equals the maximum over
+//     the honest split, every piece best, and every boundary evaluation,
+//   - Ratio = Best.U / Honest and LeqTwo is the exact Theorem 8 comparison.
+//
+// Chain is the human-readable rendering of the inequality chain; the checker
+// verifies the underlying numbers, not the prose.
+type RatioCert struct {
+	Schema   string            `json:"schema"`
+	Ring     DecompositionCert `json:"ring"`
+	V        int               `json:"v"`
+	Honest   string            `json:"honest"`
+	Best     SplitCert         `json:"best"`
+	Ratio    string            `json:"ratio"`
+	LeqTwo   bool              `json:"leq_two"`
+	Pieces   []PieceCert       `json:"pieces,omitempty"`
+	Boundary []SplitCert       `json:"boundary,omitempty"`
+	Chain    []string          `json:"chain,omitempty"`
+}
+
+// SweepCert certifies a sweep answer: every grid point's split evaluated and
+// certified, with the grid geometry (w1_i = W·i/Grid) re-derived by the
+// checker, the earliest-maximum best point, and the ratio rule against the
+// certified honest utility. Start is the first covered grid index (nonzero
+// for a certified partial sweep); Points covers [Start, Start+len).
+type SweepCert struct {
+	Schema    string            `json:"schema"`
+	Ring      DecompositionCert `json:"ring"`
+	V         int               `json:"v"`
+	Grid      int               `json:"grid"`
+	Start     int               `json:"start,omitempty"`
+	Points    []SplitCert       `json:"points"`
+	BestIndex int               `json:"best_index"`
+	Honest    string            `json:"honest"`
+	Ratio     string            `json:"ratio"`
+	LeqTwo    bool              `json:"leq_two"`
+	Chain     []string          `json:"chain,omitempty"`
+}
+
+// Checkable is implemented by every certificate type.
+type Checkable interface {
+	// Check verifies the certificate without re-running any solver. A nil
+	// return means every recorded quantity has been independently verified.
+	Check() error
+}
+
+// Check verifies any certificate in time linear in its size, without
+// invoking solver code. It is a trivial indirection kept for call-site
+// clarity: cert.Check(c) reads as "verify this certificate".
+func Check(c Checkable) error { return c.Check() }
+
+// Compile-time interface conformance.
+var (
+	_ Checkable = (*DecompositionCert)(nil)
+	_ Checkable = (*RatioCert)(nil)
+	_ Checkable = (*SweepCert)(nil)
+)

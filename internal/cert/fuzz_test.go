@@ -1,0 +1,71 @@
+package cert_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/cert"
+)
+
+// FuzzCertRoundTrip fuzzes the checker with arbitrary bytes and pins the
+// canonicalization property: any certificate that decodes and passes Check
+// must survive encode → decode → Check → encode with bit-identical bytes
+// after the first re-encode. Only cert and encoding/json are exercised —
+// the fuzzer probes the verifier's parsing hardening (malformed rationals,
+// hostile covers, outsized literals), never solver code.
+func FuzzCertRoundTrip(f *testing.F) {
+	// Minimal hand-built seeds; richer solver-built certificates live in
+	// testdata/fuzz/FuzzCertRoundTrip (regenerate with TestRegenerateFuzzCorpus).
+	f.Add([]byte(`{"schema":"bd-cert/v1","instance":{"n":1,"weights":["1"],"edges":null},"pairs":[{"b":[0],"c":[],"alpha":"0"}],"utilities":["0"]}`))
+	f.Add([]byte(`{"schema":"bd-cert/v1","instance":{"n":2,"weights":["1","1"],"edges":[[0,1]]},"pairs":[{"b":[0,1],"c":[0,1],"alpha":"1","witness":[{"from":0,"to":1,"flow":"1"},{"from":1,"to":0,"flow":"1"}]}],"utilities":["1","1"]}`))
+	f.Add([]byte(`{"schema":"ratio-cert/v1"}`))
+	f.Add([]byte(`{"schema":"sweep-cert/v1","grid":0}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var probe struct {
+			Schema string `json:"schema"`
+		}
+		if json.Unmarshal(data, &probe) != nil {
+			return
+		}
+		var c cert.Checkable
+		var fresh func() cert.Checkable
+		switch probe.Schema {
+		case cert.SchemaDecomposition:
+			c = new(cert.DecompositionCert)
+			fresh = func() cert.Checkable { return new(cert.DecompositionCert) }
+		case cert.SchemaRatio:
+			c = new(cert.RatioCert)
+			fresh = func() cert.Checkable { return new(cert.RatioCert) }
+		case cert.SchemaSweep:
+			c = new(cert.SweepCert)
+			fresh = func() cert.Checkable { return new(cert.SweepCert) }
+		default:
+			return
+		}
+		if json.Unmarshal(data, c) != nil {
+			return
+		}
+		if cert.Check(c) != nil {
+			return // rejection is fine; we fuzz for panics and instability
+		}
+		b1, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("marshal of checked certificate: %v", err)
+		}
+		d := fresh()
+		if err := json.Unmarshal(b1, d); err != nil {
+			t.Fatalf("re-decode of checked certificate: %v", err)
+		}
+		if err := cert.Check(d); err != nil {
+			t.Fatalf("re-decoded certificate fails check: %v", err)
+		}
+		b2, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("round trip not bit-identical:\n%s\n%s", b1, b2)
+		}
+	})
+}

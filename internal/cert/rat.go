@@ -1,0 +1,87 @@
+package cert
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// maxRatLen bounds one rational literal inside a certificate. Canonical
+// forms of every quantity the solvers produce are far shorter; the limit
+// exists so a hostile certificate cannot smuggle an outsized big.Int parse
+// (or big.Rat's scientific notation, which this parser rejects outright)
+// into the checker.
+const maxRatLen = 4096
+
+// parseRat parses a canonical rational literal: an optional leading '-',
+// then decimal digits, then optionally '/' and a positive decimal
+// denominator. Unlike big.Rat.SetString it accepts no exponents, no decimal
+// points and no whitespace, and it additionally requires the literal to be
+// canonical — re-rendering the parsed value must reproduce the input byte
+// for byte (lowest terms, no leading zeros, no "-0", denominator omitted
+// when 1). Canonicality is what makes certificate identity textual: two
+// certificates describe the same numbers iff their bytes agree.
+func parseRat(s string) (*big.Rat, error) {
+	if len(s) == 0 {
+		return nil, fmt.Errorf("cert: empty rational literal")
+	}
+	if len(s) > maxRatLen {
+		return nil, fmt.Errorf("cert: rational literal of %d bytes exceeds limit %d", len(s), maxRatLen)
+	}
+	num, den := s, ""
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		num, den = s[:i], s[i+1:]
+	}
+	if !validInt(num, true) || (den != "" && !validInt(den, false)) {
+		return nil, fmt.Errorf("cert: malformed rational literal %q", s)
+	}
+	r, ok := new(big.Rat).SetString(s)
+	if !ok {
+		return nil, fmt.Errorf("cert: malformed rational literal %q", s)
+	}
+	if r.RatString() != s {
+		return nil, fmt.Errorf("cert: non-canonical rational literal %q (canonical form %q)", s, r.RatString())
+	}
+	return r, nil
+}
+
+// validInt reports whether s is a plain decimal integer (optionally signed
+// when neg is true). It intentionally over-accepts non-canonical forms like
+// leading zeros — the canonical re-render check in parseRat rejects those —
+// and exists only to keep exponents and decimals away from big.Rat.
+func validInt(s string, neg bool) bool {
+	if neg && strings.HasPrefix(s, "-") {
+		s = s[1:]
+	}
+	if len(s) == 0 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// parseNonNeg is parseRat restricted to values ≥ 0.
+func parseNonNeg(s string) (*big.Rat, error) {
+	r, err := parseRat(s)
+	if err != nil {
+		return nil, err
+	}
+	if r.Sign() < 0 {
+		return nil, fmt.Errorf("cert: negative value %q where a non-negative one is required", s)
+	}
+	return r, nil
+}
+
+// ratStr renders r canonically ("n" or "n/d"), the inverse of parseRat.
+func ratStr(r *big.Rat) string { return r.RatString() }
+
+// Common constants for the checker's comparisons.
+var (
+	ratZero = new(big.Rat)
+	ratOne  = big.NewRat(1, 1)
+	ratTwo  = big.NewRat(2, 1)
+)

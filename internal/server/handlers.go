@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/cert"
+	"repro/internal/cert/build"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/numeric"
@@ -16,6 +18,34 @@ import (
 	"repro/internal/par"
 	"repro/internal/sybil"
 )
+
+// Certification limits, tighter than the plain compute limits: a certificate
+// carries per-pair Hall-condition flow witnesses for every evaluated split,
+// so its size (and construction cost) grows with both the ring and the grid.
+const (
+	// maxCertRingSize caps the ring for any ?cert=1 request.
+	maxCertRingSize = 512
+	// maxCertSweepGrid caps the sweep grid for ?cert=1 — each of the grid+1
+	// points gets a fully witnessed split certificate.
+	maxCertSweepGrid = 512
+)
+
+// wantCert reports whether the request opted into certification, via either
+// the body flag or the ?cert=1 query parameter.
+func wantCert(r *http.Request, bodyFlag bool) bool {
+	return bodyFlag || r.URL.Query().Get("cert") == "1"
+}
+
+// certify runs the trusted-side builder output through the solver-free
+// checker, applying the test-only corruption hook first. The returned error
+// means the server must answer cert_invalid rather than ship an unchecked
+// certificate.
+func (s *Server) certify(c cert.Checkable) error {
+	if s.corruptCert != nil {
+		s.corruptCert(c)
+	}
+	return cert.Check(c)
+}
 
 // statusClientClosed is nginx's convention for "client closed request";
 // it never reaches the client (the connection is gone) but it keeps the
@@ -276,6 +306,12 @@ func (s *Server) handleRatio(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadAgent, fmt.Sprintf("agent %d out of range [0, %d)", req.V, entry.g.N()))
 		return
 	}
+	withCert := wantCert(r, req.Cert)
+	if withCert && entry.g.N() > maxCertRingSize {
+		writeError(w, http.StatusBadRequest, CodeCertLimit,
+			fmt.Sprintf("certificates are limited to rings of at most %d vertices, got %d", maxCertRingSize, entry.g.N()))
+		return
+	}
 	ctx, release, ok := s.admit(w, r)
 	if !ok {
 		return
@@ -333,7 +369,7 @@ func (s *Server) handleRatio(w http.ResponseWriter, r *http.Request) {
 		writeComputeError(w, r, err)
 		return
 	}
-	writeResult(w, r, RatioResponse{
+	resp := RatioResponse{
 		Honest: EncodeRat(in.HonestU),
 		BestW1: EncodeRat(opt.BestW1),
 		BestU:  EncodeRat(opt.BestU),
@@ -341,7 +377,27 @@ func (s *Server) handleRatio(w http.ResponseWriter, r *http.Request) {
 		LeqTwo: opt.Ratio.LessEq(numeric.Two),
 		Evals:  opt.Evals,
 		Pieces: len(opt.Pieces),
-	})
+	}
+	if withCert {
+		// Certification happens outside the batch: the optimizer answer is
+		// shared, the certificate is per-request. The builder re-derives every
+		// quantity exactly and the solver-free checker gates the response.
+		rc, err := build.Ratio(ctx, in, opt)
+		if err == nil {
+			err = s.certify(rc)
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				writeComputeError(w, r, ctx.Err())
+				return
+			}
+			writeErrorDetail(w, http.StatusInternalServerError, CodeCertInvalid,
+				"certificate failed the server's solver-free self-check", err.Error())
+			return
+		}
+		resp.Certificate = rc
+	}
+	writeResult(w, r, resp)
 }
 
 // ratioBatchResult is the shared answer of one batched ratio computation:
@@ -377,6 +433,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadAgent, fmt.Sprintf("agent %d out of range [0, %d)", req.V, entry.g.N()))
 		return
 	}
+	withCert := wantCert(r, req.Cert)
+	if withCert {
+		if entry.g.N() > maxCertRingSize {
+			writeError(w, http.StatusBadRequest, CodeCertLimit,
+				fmt.Sprintf("certificates are limited to rings of at most %d vertices, got %d", maxCertRingSize, entry.g.N()))
+			return
+		}
+		if grid > maxCertSweepGrid {
+			writeError(w, http.StatusBadRequest, CodeCertLimit,
+				fmt.Sprintf("sweep certificates are limited to grids of at most %d, got %d", maxCertSweepGrid, grid))
+			return
+		}
+	}
 	start := 0
 	if req.Resume != "" {
 		tok, err := decodeResumeToken(req.Resume)
@@ -401,14 +470,27 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	cctx, csp := obs.Start(ctx, "server.compute")
-	resp, err := s.sweep(cctx, entry, req.V, grid, start)
+	resp, err := s.sweep(cctx, entry, req.V, grid, start, withCert)
 	csp.End()
 	if err != nil {
+		var ce *certError
+		if errors.As(err, &ce) {
+			writeErrorDetail(w, http.StatusInternalServerError, CodeCertInvalid,
+				"certificate failed the server's solver-free self-check", ce.err.Error())
+			return
+		}
 		writeComputeError(w, r, err)
 		return
 	}
 	writeResult(w, r, resp)
 }
+
+// certError marks a certificate construction or self-check failure so
+// handleSweep can answer cert_invalid instead of a generic 500.
+type certError struct{ err error }
+
+func (e *certError) Error() string { return "certificate self-check: " + e.err.Error() }
+func (e *certError) Unwrap() error { return e.err }
 
 // sweep evaluates the split-utility curve on the entry's cached instance,
 // starting at grid index start (nonzero when resuming from a partial
@@ -418,7 +500,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // repeated sweeps of one instance pay only cache lookups. A sweep cut
 // short by cancellation or the request deadline returns its completed
 // prefix and a resume token instead of an error.
-func (s *Server) sweep(ctx context.Context, entry *cacheEntry, v, grid, start int) (*SweepResponse, error) {
+//
+// With withCert set, a completed (non-partial, non-empty) segment is
+// additionally certified: the builder re-derives every point with flow
+// witnesses and cert.Check gates the answer. A partial segment skips the
+// certificate — its context is already at the deadline, and the client
+// resumes anyway; the final resumed segment carries the certificate of its
+// covered indices.
+func (s *Server) sweep(ctx context.Context, entry *cacheEntry, v, grid, start int, withCert bool) (*SweepResponse, error) {
 	in, err := entry.instance(ctx, v)
 	if err != nil {
 		return nil, err
@@ -441,6 +530,19 @@ func (s *Server) sweep(ctx context.Context, entry *cacheEntry, v, grid, start in
 	if res.Partial {
 		resp.Partial = true
 		resp.ResumeToken = encodeResumeToken(resumeToken{Key: entry.key, V: v, Grid: grid, Next: res.NextIndex})
+	}
+	if withCert && !res.Partial && len(res.Points) > 0 {
+		sc, err := build.Sweep(ctx, in, res, grid)
+		if err == nil {
+			err = s.certify(sc)
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, &certError{err}
+		}
+		resp.Certificate = sc
 	}
 	return resp, nil
 }

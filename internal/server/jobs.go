@@ -8,9 +8,11 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 
 	"context"
 
+	"repro/internal/cert/enum"
 	"repro/internal/fault"
 	"repro/internal/jobs"
 	"repro/internal/numeric"
@@ -24,11 +26,20 @@ func jobKey(instanceKey string, v, grid int) string {
 	return fmt.Sprintf("%s|v=%d|grid=%d|sweep", instanceKey, v, grid)
 }
 
-// handleJobSubmit is POST /v1/jobs: validate exactly like /v1/sweep, then
-// hand the work to the durable scheduler instead of computing inline. The
-// submission is fsync'd before the response: an acknowledged job survives
-// any crash and is recovered — checkpointed prefix intact — on the next
-// boot.
+// enumJobKey is the content address of one enumerate job: the resolved
+// lattice bounds and optimizer grid. Eps only tunes frontier reporting, not
+// the certified work, yet it changes the final Summary — so it is part of
+// the address too.
+func enumJobKey(spec enumJobSpec) string {
+	return fmt.Sprintf("enum|n=%d-%d|levels=%d|grid=%d|eps=%s|enumerate",
+		spec.MinN, spec.MaxN, spec.Levels, spec.Grid, spec.Eps)
+}
+
+// handleJobSubmit is POST /v1/jobs: validate exactly like the corresponding
+// inline endpoint, then hand the work to the durable scheduler instead of
+// computing inline. The submission is fsync'd before the response: an
+// acknowledged job survives any crash and is recovered — checkpointed
+// prefix intact — on the next boot.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.jobSched == nil {
 		writeError(w, http.StatusNotImplemented, CodeJobsDisabled, "durable jobs are disabled: start the server with -data-dir")
@@ -36,6 +47,15 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	var req JobSubmitRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	switch req.Kind {
+	case "", "sweep":
+	case "enumerate":
+		s.submitEnumJob(w, r, &req)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadBody, fmt.Sprintf("unknown job kind %q (want sweep or enumerate)", req.Kind))
 		return
 	}
 	grid := req.Grid
@@ -67,6 +87,77 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		Key:      jobKey(entry.key, req.V, grid),
 		Kind:     "sweep",
 		Spec:     spec,
+		Priority: req.Priority,
+	})
+	if err != nil {
+		writeComputeError(w, r, err)
+		return
+	}
+	status := http.StatusAccepted
+	if !enqueued {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, JobSubmitResponse{Job: wireJob(rec, false), Deduped: !enqueued})
+}
+
+// Submission caps of enumerate jobs, tighter than the enum package's own
+// sanity bounds: a durable job is still served by the shared worker pool,
+// so one submission must not demand days of certification work.
+const (
+	maxEnumN      = 8
+	maxEnumLevels = 4
+)
+
+// submitEnumJob validates and enqueues a kind "enumerate" job. The lattice
+// is walked once here — cheap at the allowed bounds — to resolve defaults,
+// reject explosive requests, and pin the total instance count into the
+// persisted spec.
+func (s *Server) submitEnumJob(w http.ResponseWriter, r *http.Request, req *JobSubmitRequest) {
+	var er EnumJobRequest
+	if req.Enum != nil {
+		er = *req.Enum
+	}
+	eps := numeric.New(1, 2)
+	if er.Eps != "" {
+		var err error
+		if eps, err = DecodeRat(er.Eps); err != nil || eps.Sign() <= 0 {
+			writeError(w, http.StatusBadRequest, CodeBadBody, fmt.Sprintf("enum.eps %q is not a positive rational", er.Eps))
+			return
+		}
+	}
+	if er.Grid < 0 || er.Grid > 4096 {
+		writeError(w, http.StatusBadRequest, CodeBadGrid, "enum.grid outside [0, 4096]")
+		return
+	}
+	opts := enum.Options{MinN: er.MinN, MaxN: er.MaxN, Levels: er.Levels, Grid: er.Grid, Eps: eps}
+	specs, err := enum.Enumerate(opts)
+	if err != nil {
+		writeErrorDetail(w, http.StatusBadRequest, CodeBadBody, "invalid enumeration bounds", err.Error())
+		return
+	}
+	opts = opts.Resolved()
+	if opts.MaxN > maxEnumN || opts.Levels > maxEnumLevels {
+		writeError(w, http.StatusBadRequest, CodeCertLimit,
+			fmt.Sprintf("enumeration jobs are limited to max_n ≤ %d and levels ≤ %d", maxEnumN, maxEnumLevels))
+		return
+	}
+	spec := enumJobSpec{
+		MinN:   opts.MinN,
+		MaxN:   opts.MaxN,
+		Levels: opts.Levels,
+		Grid:   opts.Grid,
+		Eps:    EncodeRat(eps),
+		Total:  len(specs),
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	rec, enqueued, err := s.jobSched.Submit(r.Context(), jobs.Submission{
+		Key:      enumJobKey(spec),
+		Kind:     "enumerate",
+		Spec:     raw,
 		Priority: req.Priority,
 	})
 	if err != nil {
@@ -178,9 +269,17 @@ func wireJob(rec *jobs.Record, detail bool) WireJob {
 		StartedAt:  rec.StartedUnixNano,
 		FinishedAt: rec.FinishedUnixNano,
 	}
-	var spec sweepJobSpec
-	if err := json.Unmarshal(rec.Spec, &spec); err == nil && spec.Grid > 0 {
-		j.TotalPoints = spec.Grid + 1
+	switch rec.Kind {
+	case "enumerate":
+		var spec enumJobSpec
+		if err := json.Unmarshal(rec.Spec, &spec); err == nil {
+			j.TotalPoints = spec.Total
+		}
+	default:
+		var spec sweepJobSpec
+		if err := json.Unmarshal(rec.Spec, &spec); err == nil && spec.Grid > 0 {
+			j.TotalPoints = spec.Grid + 1
+		}
 	}
 	if detail {
 		j.Points = make([]WireSweepPoint, len(rec.Points))
@@ -191,14 +290,22 @@ func wireJob(rec *jobs.Record, detail bool) WireJob {
 	return j
 }
 
-// runJob executes one sweep job. It walks the grid point by point — the
-// same per-point arithmetic as sybil.SweepInstanceCtx, sharing the cached
-// core.Instance with the inline endpoints — checkpointing each completed
-// index through ckpt, and resuming from rec.NextIndex using the
+// runJob dispatches one durable job to its kind's runner.
+func (s *Server) runJob(ctx context.Context, rec *jobs.Record, ckpt jobs.CheckpointFunc) ([]byte, error) {
+	if rec.Kind == "enumerate" {
+		return s.runEnumJob(ctx, rec, ckpt)
+	}
+	return s.runSweepJob(ctx, rec, ckpt)
+}
+
+// runSweepJob executes one sweep job. It walks the grid point by point —
+// the same per-point arithmetic as sybil.SweepInstanceCtx, sharing the
+// cached core.Instance with the inline endpoints — checkpointing each
+// completed index through ckpt, and resuming from rec.NextIndex using the
 // checkpointed prefix verbatim. Because every quantity is exact and
 // serialized canonically, the final Result is bit-identical to the
 // /v1/sweep response of an uninterrupted run.
-func (s *Server) runJob(ctx context.Context, rec *jobs.Record, ckpt jobs.CheckpointFunc) ([]byte, error) {
+func (s *Server) runSweepJob(ctx context.Context, rec *jobs.Record, ckpt jobs.CheckpointFunc) ([]byte, error) {
 	var spec sweepJobSpec
 	if err := json.Unmarshal(rec.Spec, &spec); err != nil {
 		return nil, fmt.Errorf("corrupt job spec: %w", err)
@@ -289,6 +396,100 @@ func (s *Server) runJob(ctx context.Context, rec *jobs.Record, ckpt jobs.Checkpo
 	resp.Honest = EncodeRat(honest)
 	resp.Ratio = EncodeRat(ratio)
 	return json.Marshal(resp)
+}
+
+// Enumerate-job checkpoints reuse the sweep Point shape: W1 carries the
+// instance key ("r5:3,1,2,1,5"), U the certified ratio — or, when the
+// instance failed certification, its error prefixed with "!" (keys and
+// canonical ratios never start with '!', so the encoding is unambiguous).
+func encodeEnumOutcome(out enum.Outcome) jobs.Point {
+	u := out.Ratio
+	if out.Err != "" {
+		u = "!" + out.Err
+	}
+	return jobs.Point{W1: out.Key, U: u}
+}
+
+func decodeEnumOutcome(p jobs.Point) enum.Outcome {
+	out := enum.Outcome{Key: p.W1}
+	if strings.HasPrefix(p.U, "!") {
+		out.Err = p.U[1:]
+	} else {
+		out.Ratio = p.U
+	}
+	return out
+}
+
+// runEnumJob executes one enumerate job: walk the deterministic instance
+// list of the persisted spec, certify each instance (solve → build
+// certificate → solver-free cert.Check), and checkpoint every completed
+// index. The enumeration order is fixed (enum.Enumerate), so instance i
+// means the same ring in every process that ever resumes this job; the
+// final Result is the enum.Summary over all outcomes, bit-identical for an
+// interrupted and an uninterrupted run. Per-instance certification
+// failures are recorded in the summary, not turned into job failures — the
+// whole point of the job is to find them.
+func (s *Server) runEnumJob(ctx context.Context, rec *jobs.Record, ckpt jobs.CheckpointFunc) ([]byte, error) {
+	var spec enumJobSpec
+	if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+		return nil, fmt.Errorf("corrupt job spec: %w", err)
+	}
+	if s.collector != nil {
+		tr := s.collector.NewTrace("jobs.run")
+		ctx = tr.Context(ctx)
+		defer tr.Finish()
+	}
+	ctx, span := obs.Start(ctx, "jobs.enumerate")
+	defer span.End()
+	if span != nil {
+		span.SetAttr("job", rec.ID)
+		span.SetAttr("total", strconv.Itoa(spec.Total))
+		if rec.NextIndex > 0 {
+			span.SetAttr("resume_from", strconv.Itoa(rec.NextIndex))
+		}
+	}
+	eps, err := DecodeRat(spec.Eps)
+	if err != nil {
+		return nil, fmt.Errorf("corrupt job spec eps: %w", err)
+	}
+	specs, err := enum.Enumerate(enum.Options{
+		MinN: spec.MinN, MaxN: spec.MaxN, Levels: spec.Levels, Grid: spec.Grid, Eps: eps,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("job spec bounds: %w", err)
+	}
+	if len(specs) != spec.Total {
+		return nil, fmt.Errorf("enumeration drifted: spec pinned %d instances, lattice walk produced %d", spec.Total, len(specs))
+	}
+
+	outs := make([]enum.Outcome, 0, len(specs))
+	for _, p := range rec.Points {
+		outs = append(outs, decodeEnumOutcome(p))
+	}
+	for i := rec.NextIndex; i < len(specs); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := fault.Hit(ctx, fault.SiteSweepPoint); err != nil {
+			return nil, err
+		}
+		out := enum.Certify(ctx, specs[i], spec.Grid)
+		if err := ctx.Err(); err != nil {
+			// Cancellation mid-certify surfaces as an instance error; requeue
+			// instead of persisting a spurious failure.
+			return nil, err
+		}
+		if err := ckpt(i, []jobs.Point{encodeEnumOutcome(out)}); err != nil {
+			return nil, err
+		}
+		outs = append(outs, out)
+	}
+
+	sum, err := enum.Summarize(outs, eps)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(sum)
 }
 
 // writeJobsMetrics renders the jobs subsystem series on /metrics. No-op

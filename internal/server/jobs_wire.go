@@ -2,21 +2,39 @@ package server
 
 import "encoding/json"
 
-// Wire types of the /v1/jobs API: durable, resumable sweep jobs executed in
-// the background by the scheduler in internal/jobs. Submission is
-// content-addressed — the job ID derives from the canonical instance key
-// plus (v, grid) — so resubmitting the same sweep returns the existing job
-// instead of duplicating work.
+// Wire types of the /v1/jobs API: durable, resumable background jobs
+// executed by the scheduler in internal/jobs. Two kinds exist: "sweep" (the
+// default) walks one agent's split-utility curve; "enumerate" exhaustively
+// certifies every small ring over a rational lattice (internal/cert/enum).
+// Submission is content-addressed — the job ID derives from the canonical
+// parameters — so resubmitting equivalent work returns the existing job
+// instead of duplicating it.
 
-// JobSubmitRequest is the body of POST /v1/jobs: run the agent-V sweep of
-// Graph at Grid+1 points (0 = default 64) as a durable background job.
-// Priority orders the scheduler queue (higher first, FIFO within a
-// priority).
+// JobSubmitRequest is the body of POST /v1/jobs. Kind selects the job type:
+// "" or "sweep" runs the agent-V sweep of Graph at Grid+1 points (0 =
+// default 64); "enumerate" runs the exhaustive small-n certification
+// described by Enum (Graph/V/Grid are ignored). Priority orders the
+// scheduler queue (higher first, FIFO within a priority).
 type JobSubmitRequest struct {
-	Graph    WireGraph `json:"graph"`
-	V        int       `json:"v"`
-	Grid     int       `json:"grid,omitempty"`
-	Priority int       `json:"priority,omitempty"`
+	Kind     string          `json:"kind,omitempty"`
+	Graph    WireGraph       `json:"graph,omitempty"`
+	V        int             `json:"v,omitempty"`
+	Grid     int             `json:"grid,omitempty"`
+	Priority int             `json:"priority,omitempty"`
+	Enum     *EnumJobRequest `json:"enum,omitempty"`
+}
+
+// EnumJobRequest parameterizes a kind "enumerate" job: certify every
+// canonical ring with MinN..MaxN vertices and integer weights 1..Levels
+// (zero values select the enum package defaults 3/6/3), optimizing each
+// instance on Grid and archiving the near-tight frontier at threshold
+// 2−Eps. Eps is a rational string ("1/2" when empty).
+type EnumJobRequest struct {
+	MinN   int    `json:"min_n,omitempty"`
+	MaxN   int    `json:"max_n,omitempty"`
+	Levels int    `json:"levels,omitempty"`
+	Grid   int    `json:"grid,omitempty"`
+	Eps    string `json:"eps,omitempty"`
 }
 
 // sweepJobSpec is the persisted job specification: enough to re-derive the
@@ -28,11 +46,26 @@ type sweepJobSpec struct {
 	Grid  int       `json:"grid"`
 }
 
+// enumJobSpec is the persisted specification of an enumerate job. All
+// fields are resolved (defaults applied, Eps canonical) at submission, and
+// Total pins the instance count so progress reporting and resume never
+// depend on re-walking the lattice.
+type enumJobSpec struct {
+	MinN   int    `json:"min_n"`
+	MaxN   int    `json:"max_n"`
+	Levels int    `json:"levels"`
+	Grid   int    `json:"grid"`
+	Eps    string `json:"eps"`
+	Total  int    `json:"total"`
+}
+
 // WireJob is the API view of one job. Points carries the checkpointed
-// prefix (grid indices [0, NextIndex)) and is populated only on the detail
-// view; Result is the final SweepResponse body once the job is done — a
-// recovered job's Result is bit-identical to the response an uninterrupted
-// /v1/sweep of the same request would have produced.
+// prefix (indices [0, NextIndex)) and is populated only on the detail view;
+// for sweep jobs a point is (w1, u), for enumerate jobs it is (instance key,
+// certified ratio — or "!"-prefixed error). Result is the final body once
+// the job is done: a SweepResponse for sweeps (bit-identical to an
+// uninterrupted /v1/sweep of the same request) or an enum.Summary for
+// enumerations.
 type WireJob struct {
 	ID          string           `json:"id"`
 	Kind        string           `json:"kind"`

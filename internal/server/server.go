@@ -125,6 +125,11 @@ type Server struct {
 	// Config.DataDir is set.
 	jobStore *jobs.Store
 	jobSched *jobs.Scheduler
+
+	// corruptCert, when non-nil, mutates every freshly built certificate
+	// before the server's solver-free self-check. Test-only: it exercises the
+	// cert_invalid path, proving the self-check really gates the response.
+	corruptCert func(c any)
 }
 
 // New constructs a Server from cfg. With a DataDir configured it also opens

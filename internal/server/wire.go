@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/bottleneck"
+	"repro/internal/cert"
 	"repro/internal/graph"
 	"repro/internal/numeric"
 )
@@ -259,23 +260,35 @@ type UtilitiesResponse struct {
 
 // RatioRequest is the body of POST /v1/ratio. V is the manipulative agent;
 // Grid tunes the optimizer (0 = default 64). The graph must be a ring.
+// Cert (equivalently the ?cert=1 query parameter) additionally requests an
+// exact-rational certificate of the answer.
 type RatioRequest struct {
 	Graph WireGraph `json:"graph"`
 	V     int       `json:"v"`
 	Grid  int       `json:"grid,omitempty"`
+	Cert  bool      `json:"cert,omitempty"`
 }
 
 // RatioResponse is the body of a /v1/ratio answer: the attacker's honest
 // utility, the optimizer's certified best split and the incentive ratio,
 // with the exact Theorem 8 check ratio ≤ 2.
+//
+// Certificate, present only when the request opted in with cert, is the full
+// ratio-cert/v1 certificate: bottleneck covers with Hall-condition flow
+// witnesses, per-piece closed forms and the inequality chain. The server
+// re-verifies it with the solver-free checker (cert.Check) before answering
+// — a self-check failure is a 500 with code cert_invalid, never a silently
+// wrong certificate — and clients can re-run cert.Check themselves without
+// trusting the server.
 type RatioResponse struct {
-	Honest string `json:"honest"`
-	BestW1 string `json:"best_w1"`
-	BestU  string `json:"best_u"`
-	Ratio  string `json:"ratio"`
-	LeqTwo bool   `json:"leq_two"`
-	Evals  int    `json:"evals"`
-	Pieces int    `json:"pieces"`
+	Honest      string          `json:"honest"`
+	BestW1      string          `json:"best_w1"`
+	BestU       string          `json:"best_u"`
+	Ratio       string          `json:"ratio"`
+	LeqTwo      bool            `json:"leq_two"`
+	Evals       int             `json:"evals"`
+	Pieces      int             `json:"pieces"`
+	Certificate *cert.RatioCert `json:"certificate,omitempty"`
 }
 
 // SweepRequest is the body of POST /v1/sweep: evaluate the split-utility
@@ -289,6 +302,9 @@ type SweepRequest struct {
 	V      int       `json:"v"`
 	Grid   int       `json:"grid,omitempty"`
 	Resume string    `json:"resume,omitempty"`
+	// Cert (equivalently ?cert=1) requests a sweep-cert/v1 certificate of
+	// the completed sweep segment.
+	Cert bool `json:"cert,omitempty"`
 }
 
 // WireSweepPoint is one exactly evaluated split.
@@ -305,6 +321,12 @@ type WireSweepPoint struct {
 // only those points, and ResumeToken can be sent back in SweepRequest.Resume
 // to continue from NextIndex. Prefix points are bit-identical to the same
 // points of an uninterrupted run.
+//
+// Certificate, present only when the request opted in with cert and the
+// segment completed (a partial response never carries one — resume first,
+// then the final segment is certified), is the sweep-cert/v1 certificate of
+// the covered grid indices, self-checked by the server and re-checkable by
+// the client via cert.Check.
 type SweepResponse struct {
 	Points      []WireSweepPoint `json:"points"`
 	BestW1      string           `json:"best_w1"`
@@ -315,6 +337,7 @@ type SweepResponse struct {
 	StartIndex  int              `json:"start_index,omitempty"`
 	NextIndex   int              `json:"next_index,omitempty"`
 	ResumeToken string           `json:"resume_token,omitempty"`
+	Certificate *cert.SweepCert  `json:"certificate,omitempty"`
 }
 
 // Stable machine-readable error codes. Clients should branch on Code;
@@ -357,6 +380,16 @@ const (
 	// CodePartialResult: a sweep resume token is malformed or was minted for
 	// a different (graph, agent, grid) than this request (400).
 	CodePartialResult = "partial_result"
+	// CodeCertLimit: the request asked for a certificate (or an enumeration
+	// job) whose size exceeds the server's certification limits (400).
+	// Certificates carry per-pair flow witnesses for every evaluated split,
+	// so they are capped tighter than the plain endpoints.
+	CodeCertLimit = "cert_limit"
+	// CodeCertInvalid: the server built a certificate but its own solver-free
+	// self-check (cert.Check) rejected it (500). This never ships a wrong
+	// certificate: either the response carries a checked certificate or it
+	// fails loudly with this code.
+	CodeCertInvalid = "cert_invalid"
 )
 
 // ErrorResponse is the body of every non-2xx answer: a stable

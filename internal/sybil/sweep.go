@@ -56,6 +56,11 @@ type SweepResult struct {
 	// optimum; use core.Instance.Optimize for the certified piecewise
 	// search). Zero when Points is empty.
 	BestW1, BestU numeric.Rat
+	// BestIndex is the index into Points of the best split — the earliest
+	// maximum: BestU strictly exceeds every earlier point and is ≥ every
+	// later one. Certificates (internal/cert) record and re-verify this
+	// rule. Zero when Points is empty.
+	BestIndex int
 	// Honest is U_v(G; w), and Ratio = BestU / Honest (1 when both zero).
 	// For a partial result the ratio covers only the returned points.
 	Honest, Ratio numeric.Rat
@@ -171,9 +176,9 @@ func SweepInstanceCtx(ctx context.Context, in *core.Instance, opts SweepOptions)
 	}
 	if completed > 0 {
 		res.BestW1, res.BestU = res.Points[0].W1, res.Points[0].U
-		for _, p := range res.Points[1:] {
+		for i, p := range res.Points[1:] {
 			if res.BestU.Less(p.U) {
-				res.BestW1, res.BestU = p.W1, p.U
+				res.BestW1, res.BestU, res.BestIndex = p.W1, p.U, i+1
 			}
 		}
 	}

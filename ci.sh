@@ -95,7 +95,18 @@ go run ./cmd/benchjson -bench 'WAL|Recover' -pkg ./internal/jobs -out BENCH_jobs
 # certificate checker's parsing hardening and canonical round-trip.
 go test ./internal/graph -run '^$' -fuzz '^FuzzParseGraph$' -fuzztime 10s
 go test ./internal/server -run '^$' -fuzz '^FuzzRatDecode$' -fuzztime 10s
+go test ./internal/server -run '^$' -fuzz '^FuzzMechanismField$' -fuzztime 10s
 go test ./internal/cert -run '^$' -fuzz '^FuzzCertRoundTrip$' -fuzztime 10s
+
+# Cross-mechanism tournament smoke: every registered mechanism evaluated
+# on a fixed ring through the same path the /v1/tournament endpoint uses.
+# Exact rational arithmetic end to end, so the output is deterministic;
+# any registry or generic-sweep regression changes a printed ζ and the
+# grep below fails. bd must beat eqsplit on this instance (ζ > 1 vs = 1).
+tourn_out="$(go run ./cmd/irshare tournament -ring 3,1,2,1,5 -v 0 -grid 16)"
+printf '%s\n' "$tourn_out"
+printf '%s\n' "$tourn_out" | grep -q 'bd *ζ = 3965/3689' || { echo "tournament smoke: bd ratio drifted"; exit 1; }
+printf '%s\n' "$tourn_out" | grep -q 'eqsplit *ζ = 1 ' || { echo "tournament smoke: eqsplit ratio drifted"; exit 1; }
 
 # Exhaustive small-n certification smoke: every canonical ring with n ≤ 6
 # vertices and integer weights in {1..3} — 604 instances up to symmetry —

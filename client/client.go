@@ -1,5 +1,6 @@
 // Package client is the public Go client for the irshared service: typed
-// calls for all five /v1 endpoints with context-aware retries.
+// calls for every /v1 endpoint — compute, mechanism discovery, tournaments,
+// and durable jobs — with context-aware retries.
 //
 // Transient failures — 429 overload shedding, 503 queue/chaos busyness,
 // 504 server-side timeouts, contained panics (500 internal_panic) and
@@ -61,6 +62,21 @@ type (
 	WireSweepPoint = server.WireSweepPoint
 	// SweepResponse is the answer of /v1/sweep (possibly partial).
 	SweepResponse = server.SweepResponse
+	// MechanismsResponse is the answer of GET /v1/mechanisms: every
+	// registered backend in sorted name order with capability flags.
+	MechanismsResponse = server.MechanismsResponse
+	// TournamentInstance is one arena of a tournament: a ring graph and the
+	// attacker vertex.
+	TournamentInstance = server.TournamentWireInstance
+	// TournamentRequest is the body of POST /v1/tournament.
+	TournamentRequest = server.TournamentRequest
+	// TournamentCell is one (instance, mechanism) evaluation of a tournament.
+	TournamentCell = server.WireTournamentCell
+	// MechanismSummary aggregates one mechanism's tournament column.
+	MechanismSummary = server.WireMechanismSummary
+	// TournamentResponse is the answer of /v1/tournament (and the final
+	// result of a kind "tournament" job).
+	TournamentResponse = server.TournamentResponse
 	// JobSubmitRequest is the body of POST /v1/jobs.
 	JobSubmitRequest = server.JobSubmitRequest
 	// EnumJobRequest parameterizes a kind "enumerate" job: exhaustive
@@ -233,6 +249,28 @@ func (c *Client) Ratio(ctx context.Context, req *RatioRequest) (*RatioResponse, 
 func (c *Client) Sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
 	var resp SweepResponse
 	if err := c.do(ctx, "/v1/sweep", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Mechanisms calls GET /v1/mechanisms: the registered allocation backends,
+// sorted by name. Any listed name is valid in the "mechanism" field of
+// Allocate, Ratio, Sweep, sweep jobs, and tournament mechanism sets.
+func (c *Client) Mechanisms(ctx context.Context) (*MechanismsResponse, error) {
+	var resp MechanismsResponse
+	if err := c.doMethod(ctx, http.MethodGet, "/v1/mechanisms", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Tournament calls POST /v1/tournament: every selected mechanism evaluated
+// on every instance under one attack grid. For long grids or many
+// instances, submit a kind "tournament" job via SubmitJob instead.
+func (c *Client) Tournament(ctx context.Context, req *TournamentRequest) (*TournamentResponse, error) {
+	var resp TournamentResponse
+	if err := c.do(ctx, "/v1/tournament", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

@@ -1,0 +1,80 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestClientMechanismEndpoints drives the mechanism surface end to end
+// through the retrying client: discovery, mechanism-tagged compute, the
+// unknown_mechanism error, an inline tournament, and a durable tournament
+// job whose Result matches the inline body's cells.
+func TestClientMechanismEndpoints(t *testing.T) {
+	ts := newService(t, server.Config{MaxQueueDepth: -1, DataDir: t.TempDir()})
+	c := New(ts.URL, fastBackoff(), WithSeed(1))
+	ctx := context.Background()
+	ring := Graph{Ring: []string{"3", "1", "2", "1", "5"}}
+
+	ms, err := c.Mechanisms(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Default != "bd" || len(ms.Mechanisms) < 3 {
+		t.Fatalf("mechanisms: %+v", ms)
+	}
+	for i := 1; i < len(ms.Mechanisms); i++ {
+		if ms.Mechanisms[i-1].Name >= ms.Mechanisms[i].Name {
+			t.Fatalf("discovery listing not sorted: %+v", ms.Mechanisms)
+		}
+	}
+
+	// Mechanism-tagged compute: bd explicit == bd default, eqsplit differs.
+	bare, err := c.Ratio(ctx, &RatioRequest{Graph: ring, V: 0, Grid: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged, err := c.Ratio(ctx, &RatioRequest{Graph: ring, V: 0, Grid: 8, Mechanism: "bd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *bare != *tagged {
+		t.Fatalf("explicit bd diverges: %+v vs %+v", bare, tagged)
+	}
+	if _, err := c.Ratio(ctx, &RatioRequest{Graph: ring, V: 0, Mechanism: "quantum"}); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	} else {
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Code != server.CodeUnknownMechanism {
+			t.Fatalf("unknown mechanism error = %v", err)
+		}
+	}
+
+	// Inline tournament, then the durable job form of the same request.
+	req := TournamentRequest{
+		Instances:  []TournamentInstance{{Graph: ring, V: 0}},
+		Mechanisms: []string{"bd", "eqsplit"},
+		Grid:       8,
+	}
+	res, err := c.Tournament(ctx, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 || len(res.Cells[0]) != 2 || res.Cells[0][0].Mechanism != "bd" {
+		t.Fatalf("tournament: %+v", res)
+	}
+
+	sub, err := c.SubmitJob(ctx, &JobSubmitRequest{Kind: "tournament", Tournament: &req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.WaitJob(ctx, sub.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != "done" || job.TotalPoints != 2 {
+		t.Fatalf("tournament job: %+v", job)
+	}
+}

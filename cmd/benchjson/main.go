@@ -28,11 +28,14 @@ import (
 	"time"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. RPS captures the custom "rps"
+// metric emitted by the sustained-throughput benchmarks (b.ReportMetric);
+// zero for benchmarks that do not report one.
 type Result struct {
 	Name        string  `json:"name"`
 	Iterations  int64   `json:"iterations,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
+	RPS         float64 `json:"rps,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
@@ -139,8 +142,11 @@ func carryBaseline(rep *Report, path string) {
 // benchLine matches go test -bench -benchmem output, e.g.
 //
 //	BenchmarkOptimizeSplit/n=065-8  3  392216994 ns/op  174999248 B/op  4072928 allocs/op
+//	BenchmarkServerSustainedRatioRPS-8  14510  86029 ns/op  11624 rps  21138 B/op  358 allocs/op
+//
+// (custom metrics like rps print between ns/op and the -benchmem columns).
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) rps)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func parseBench(out []byte) ([]Result, error) {
 	var results []Result
@@ -160,10 +166,13 @@ func parseBench(out []byte) ([]Result, error) {
 		}
 		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
 		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			r.RPS, _ = strconv.ParseFloat(m[4], 64)
 		}
 		if m[5] != "" {
-			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			r.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if m[6] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
 		}
 		results = append(results, r)
 	}

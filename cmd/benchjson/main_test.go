@@ -53,6 +53,21 @@ func TestCarryBaseline(t *testing.T) {
 	}
 }
 
+func TestParseBenchRPSMetric(t *testing.T) {
+	out := []byte("BenchmarkServerSustainedRatioRPS-8  14510  86029 ns/op  11624.5 rps  21138 B/op  358 allocs/op\n")
+	results, err := parseBench(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.RPS != 11624.5 || r.NsPerOp != 86029 || r.BytesPerOp != 21138 || r.AllocsPerOp != 358 {
+		t.Fatalf("rps line parsed wrong: %+v", r)
+	}
+}
+
 func TestParseBenchNoMem(t *testing.T) {
 	results, err := parseBench([]byte("BenchmarkX-4   100   12345 ns/op\n"))
 	if err != nil {

@@ -1,6 +1,7 @@
 // Command irshare inspects resource-sharing instances: it computes the
 // bottleneck decomposition, the BD allocation, the equilibrium utilities,
-// and (for rings) the incentive ratio of an agent.
+// (for rings) the incentive ratio of an agent, and head-to-head mechanism
+// tournaments.
 //
 // Usage:
 //
@@ -10,6 +11,8 @@
 //	irshare ratio      -v <agent> [-grid N] [graph args]
 //	irshare curve      -v <agent> [graph args]
 //	irshare verify     [-v <agent>] [graph args]
+//	irshare mechanisms
+//	irshare tournament -v <agent> [-grid N] [-mechanisms a,b] [graph args]
 //
 // Graph selection (one of):
 //
@@ -20,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +35,7 @@ import (
 	"repro/internal/bottleneck"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mechanism"
 	"repro/internal/numeric"
 )
 
@@ -43,9 +48,21 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: irshare <decompose|allocate|utilities|ratio|curve|verify> [flags]")
+		return fmt.Errorf("usage: irshare <decompose|allocate|utilities|ratio|curve|verify|mechanisms|tournament> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
+	if cmd == "mechanisms" {
+		// Registry listing needs no graph; sorted order keeps output stable.
+		for _, info := range mechanism.Infos() {
+			def := ""
+			if info.Name == mechanism.Default {
+				def = " (default)"
+			}
+			fmt.Fprintf(w, "  %-10s cert=%-5v exact=%-5v %s%s\n",
+				info.Name, info.Certifiable, info.ExactRatio, info.Description, def)
+		}
+		return nil
+	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	var (
 		inFile = fs.String("in", "", "graph file in text format (\"-\" = stdin)")
@@ -57,6 +74,7 @@ func run(args []string, w io.Writer) error {
 		traceF = fs.Bool("trace", false, "print solver trace events (decompose)")
 		agent  = fs.Int("v", -1, "agent index (ratio)")
 		grid   = fs.Int("grid", 64, "optimizer grid (ratio)")
+		mechs  = fs.String("mechanisms", "", "comma-separated mechanism names (tournament; empty = all)")
 	)
 	if err := fs.Parse(rest); err != nil {
 		return err
@@ -250,6 +268,29 @@ func run(args []string, w io.Writer) error {
 			verdict.Stages.Form, verdict.Stages.AllChecksPass())
 		for _, c := range verdict.Stages.Checks {
 			fmt.Fprintf(w, "  [%v] %s (%s)\n", c.Pass, c.Name, c.Detail)
+		}
+		return nil
+
+	case "tournament":
+		// One instance, every selected mechanism: the same head-to-head
+		// evaluation as POST /v1/tournament, printed as a table.
+		if *agent < 0 {
+			return fmt.Errorf("tournament requires -v <agent>")
+		}
+		var names []string
+		if *mechs != "" {
+			names = strings.Split(*mechs, ",")
+		}
+		res, err := mechanism.Tournament(context.Background(),
+			[]mechanism.TournamentInstance{{G: g, V: *agent}},
+			mechanism.TournamentOptions{Mechanisms: names, Grid: *grid})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "tournament: agent %s, grid %d\n", g.Label(*agent), res.Grid)
+		for _, c := range res.Cells[0] {
+			fmt.Fprintf(w, "  %-10s ζ = %-12s (≈ %.6f)  honest U = %-10s best w1 = %-10s efficiency = %-10s fairness = %s\n",
+				c.Mechanism, c.Ratio, c.Ratio.Float64(), c.Honest, c.BestW1, c.Efficiency, c.Fairness)
 		}
 		return nil
 

@@ -136,6 +136,53 @@ func TestDecomposeTraceFlag(t *testing.T) {
 	}
 }
 
+func TestMechanismsCommand(t *testing.T) {
+	out, err := runCapture(t, "mechanisms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bd", "(default)", "eqsplit", "pr", "cert=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mechanisms output missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted registry order: bd before eqsplit before pr. Match names at
+	// the start of their rows ("pr" also occurs inside descriptions).
+	rows := "\n" + out
+	if bd, eq, pr := strings.Index(rows, "\n  bd "), strings.Index(rows, "\n  eqsplit "), strings.Index(rows, "\n  pr "); bd < 0 || eq < 0 || pr < 0 || !(bd < eq && eq < pr) {
+		t.Errorf("mechanisms listing not sorted:\n%s", out)
+	}
+}
+
+func TestTournamentCommand(t *testing.T) {
+	out, err := runCapture(t, "tournament", "-v", "0", "-grid", "16", "-ring", "3,1,2,1,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact rationals end to end: the bd row is deterministic, and on this
+	// instance bd strictly beats the no-reciprocity baseline (ζ = 1).
+	for _, want := range []string{"tournament: agent v0, grid 16", "ζ = 3965/3689", "eqsplit", "efficiency = 12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tournament output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Mechanism subset selection and its error path.
+	out2, err := runCapture(t, "tournament", "-v", "0", "-grid", "8", "-mechanisms", "eqsplit", "-ring", "3,1,2,1,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out2, "bd ") || !strings.Contains(out2, "eqsplit") {
+		t.Errorf("tournament -mechanisms filter wrong:\n%s", out2)
+	}
+	if _, err := runCapture(t, "tournament", "-v", "0", "-mechanisms", "quantum", "-ring", "1,2,3"); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+	if _, err := runCapture(t, "tournament", "-ring", "1,2,3"); err == nil {
+		t.Error("tournament without -v accepted")
+	}
+}
+
 func TestVerifyCommand(t *testing.T) {
 	out, err := runCapture(t, "verify", "-v", "1", "-grid", "16", "-ring", "1,100,1,5,5")
 	if err != nil {

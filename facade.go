@@ -9,9 +9,20 @@ import (
 	"repro/internal/cert"
 	"repro/internal/cert/build"
 	"repro/internal/core"
+	"repro/internal/mechanism"
 	"repro/internal/obs"
 	"repro/internal/sybil"
 )
+
+// MechanismInfo describes one registered allocation-mechanism backend; see
+// Mechanisms and WithMechanism.
+type MechanismInfo = mechanism.Info
+
+// Mechanisms lists every registered allocation-mechanism backend in sorted
+// name order (byte-stable regardless of registration order). Any listed
+// name is a valid WithMechanism argument; the capability flags say which
+// facade calls it supports beyond Allocate.
+func Mechanisms() []MechanismInfo { return mechanism.Infos() }
 
 // Engine selects the bottleneck decomposition algorithm.
 type Engine = bottleneck.Engine
@@ -89,6 +100,7 @@ type callOptions struct {
 	rec      Recorder
 	dec      *Decomposition
 	cert     *Certificate
+	mech     string
 }
 
 func gatherOptions(opts []Option) callOptions {
@@ -143,6 +155,17 @@ func WithDecomposition(d *Decomposition) Option {
 	return func(o *callOptions) { o.dec = d }
 }
 
+// WithMechanism selects the allocation-mechanism backend by registry name
+// (see Mechanisms). The default, "bd", is the paper's BD Allocation
+// Mechanism and is bit-identical to omitting the option. Alternative
+// backends answer Allocate, IncentiveRatio (empirical grid ratio) and
+// RingSweep; bottleneck decomposition and exact-rational certificates are
+// BD-only capabilities, so Decompose or WithCertificate under a mechanism
+// lacking them returns an error rather than an answer of the wrong kind.
+func WithMechanism(name string) Option {
+	return func(o *callOptions) { o.mech = name }
+}
+
 // WithCertificate asks the call to also build an exact-rational certificate
 // of its answer into dst (the field matching the call; see Certificate).
 // The certificate is self-checked with CheckCertificate before the call
@@ -166,12 +189,44 @@ func selfCheck(c CheckableCertificate, err error) error {
 	return nil
 }
 
-// decompose is the one shared decomposition path of the facade.
+// mechanismOf resolves the call's backend against the registry ("" = bd).
+func (o callOptions) mechanismOf() (mechanism.Mechanism, error) {
+	return mechanism.Get(o.mech)
+}
+
+// certifiable reports whether the call's backend can ship certificates.
+func certifiable(m mechanism.Mechanism) bool {
+	c, ok := m.(mechanism.Certifier)
+	return ok && c.Certifiable()
+}
+
+// errCertMechanism is the facade-level counterpart of the wire cert_limit:
+// a certificate was requested from a backend that cannot prove its answers.
+func errCertMechanism(m mechanism.Mechanism) error {
+	return fmt.Errorf("repro: certificates are only available for certifiable mechanisms (bd), not %q", m.Name())
+}
+
+// decompose is the one shared decomposition path of the facade, routed
+// through the mechanism registry: the backend must expose the Decomposer
+// capability (today, only bd). The bd path dispatches to the exact same
+// bottleneck solvers as before the registry existed.
 func (o callOptions) decompose(ctx context.Context, g *Graph) (*Decomposition, error) {
-	if o.parallel {
-		return bottleneck.DecomposeParallelCtx(ctx, g, o.engine, o.workers)
+	m, err := o.mechanismOf()
+	if err != nil {
+		return nil, err
 	}
-	return bottleneck.DecomposeCtx(ctx, g, o.engine)
+	dec, ok := m.(mechanism.Decomposer)
+	if !ok {
+		return nil, fmt.Errorf("repro: mechanism %q does not expose a bottleneck decomposition", m.Name())
+	}
+	if o.parallel {
+		if pd, ok := m.(interface {
+			DecomposeParallel(context.Context, *Graph, Engine, int) (*Decomposition, error)
+		}); ok {
+			return pd.DecomposeParallel(ctx, g, o.engine, o.workers)
+		}
+	}
+	return dec.Decompose(ctx, g, o.engine)
 }
 
 // Decompose computes the bottleneck decomposition of g (Definition 2). The
@@ -196,17 +251,29 @@ func Decompose(ctx context.Context, g *Graph, opts ...Option) (*Decomposition, e
 	return d, nil
 }
 
-// Allocate runs the BD Allocation Mechanism (Definition 5): the exact
-// equilibrium allocation of the proportional response dynamics. By default
-// it decomposes g itself (honoring WithEngine/WithWorkers); pass
-// WithDecomposition to reuse a precomputed decomposition.
+// Allocate computes the selected mechanism's allocation of g. The default
+// backend is the BD Allocation Mechanism (Definition 5): the exact
+// equilibrium allocation of the proportional response dynamics, decomposing
+// g itself (honoring WithEngine/WithWorkers) unless WithDecomposition
+// supplies a precomputed decomposition. WithMechanism swaps in an
+// alternative backend, which allocates directly (no decomposition stage, so
+// WithDecomposition is rejected).
 func Allocate(ctx context.Context, g *Graph, opts ...Option) (*Allocation, error) {
 	o := gatherOptions(opts)
 	ctx, finish := o.traced(ctx, "repro.allocate")
 	defer finish()
+	m, err := o.mechanismOf()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := m.(mechanism.Decomposer); !ok {
+		if o.dec != nil {
+			return nil, fmt.Errorf("repro: WithDecomposition requires a decomposition-based mechanism, not %q", m.Name())
+		}
+		return m.Allocate(ctx, g)
+	}
 	d := o.dec
 	if d == nil {
-		var err error
 		if d, err = o.decompose(ctx, g); err != nil {
 			return nil, err
 		}
@@ -223,11 +290,32 @@ func IncentiveRatio(ctx context.Context, g *Graph, v int, opts ...Option) (Rat, 
 	o := gatherOptions(opts)
 	ctx, finish := o.traced(ctx, "repro.incentive_ratio")
 	defer finish()
-	if o.cert == nil {
-		return core.RingRatioCtx(ctx, g, v, core.OptimizeOptions{Grid: o.grid, Workers: o.workers})
+	m, err := o.mechanismOf()
+	if err != nil {
+		return Rat{}, err
 	}
-	// The certified path runs the identical instance + optimizer pipeline as
-	// RingRatioCtx, keeping the intermediate results the builder needs.
+	if o.cert != nil && !certifiable(m) {
+		return Rat{}, errCertMechanism(m)
+	}
+	ro, ok := m.(mechanism.RingOptimizer)
+	if !ok {
+		// No exact optimizer for this backend: the ratio is the empirical
+		// best over the sweep grid (WithGrid; default 64).
+		res, err := mechanism.RingSweep(ctx, m, g, v, sybil.SweepOptions{Grid: o.grid, Workers: o.workers})
+		if err != nil {
+			return Rat{}, err
+		}
+		return res.Ratio, nil
+	}
+	if o.cert == nil {
+		opt, err := ro.OptimizeRing(ctx, g, v, core.OptimizeOptions{Grid: o.grid, Workers: o.workers})
+		if err != nil {
+			return Rat{}, err
+		}
+		return opt.Ratio, nil
+	}
+	// The certified path runs the identical instance + optimizer pipeline,
+	// keeping the intermediate results the builder needs.
 	in, err := core.NewInstanceCtx(ctx, g, v)
 	if err != nil {
 		return Rat{}, err
@@ -259,7 +347,14 @@ func RingSweep(ctx context.Context, g *Graph, v int, opts ...Option) (*SweepResu
 	o := gatherOptions(opts)
 	ctx, finish := o.traced(ctx, "repro.ring_sweep")
 	defer finish()
-	res, err := sybil.RingSweepCtx(ctx, g, v, sybil.SweepOptions{Grid: o.grid, Workers: o.workers})
+	m, err := o.mechanismOf()
+	if err != nil {
+		return nil, err
+	}
+	if o.cert != nil && !certifiable(m) {
+		return nil, errCertMechanism(m)
+	}
+	res, err := mechanism.RingSweep(ctx, m, g, v, sybil.SweepOptions{Grid: o.grid, Workers: o.workers})
 	if err != nil {
 		return nil, err
 	}
@@ -281,36 +376,3 @@ func RingSweep(ctx context.Context, g *Graph, v int, opts ...Option) (*SweepResu
 	return res, nil
 }
 
-// Deprecated wrappers preserving the pre-options call shapes. Each is a
-// thin delegation to the context-first facade and returns bit-identical
-// results; new code should call the facade directly.
-
-// DecomposeWith decomposes g under an explicit engine.
-//
-// Deprecated: use Decompose(ctx, g, WithEngine(engine)).
-func DecomposeWith(g *Graph, engine Engine) (*Decomposition, error) {
-	return Decompose(context.Background(), g, WithEngine(engine))
-}
-
-// DecomposeParallel decomposes each connected component concurrently and
-// merges the pair sequences by α (exact; see internal/bottleneck).
-//
-// Deprecated: use Decompose(ctx, g, WithWorkers(workers)).
-func DecomposeParallel(g *Graph, workers int) (*Decomposition, error) {
-	return Decompose(context.Background(), g, WithWorkers(workers))
-}
-
-// AllocateDecomposed runs the BD Allocation Mechanism over a precomputed
-// decomposition.
-//
-// Deprecated: use Allocate(ctx, g, WithDecomposition(d)).
-func AllocateDecomposed(g *Graph, d *Decomposition) (*Allocation, error) {
-	return Allocate(context.Background(), g, WithDecomposition(d))
-}
-
-// RingRatio returns ζ_v under the optimizer's default settings.
-//
-// Deprecated: use IncentiveRatio(ctx, g, v).
-func RingRatio(g *Graph, v int) (Rat, error) {
-	return IncentiveRatio(context.Background(), g, v)
-}

@@ -33,6 +33,12 @@ func newAllocation(n int) *Allocation {
 	return &Allocation{n: n, x: make(map[[2]int]numeric.Rat)}
 }
 
+// New returns an empty allocation over n vertices. It is the constructor for
+// mechanism backends (internal/mechanism) that build allocations directly
+// instead of going through the BD pipeline of Compute; transfers are
+// accumulated with Add.
+func New(n int) *Allocation { return newAllocation(n) }
+
 // N returns the number of vertices.
 func (a *Allocation) N() int { return a.n }
 

@@ -1,0 +1,50 @@
+package mechanism
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/allocation"
+	"repro/internal/graph"
+)
+
+// EqSplit is the degenerate no-reciprocity baseline: every agent splits its
+// endowment equally among its neighbors, x_vu = w_v/deg(v), regardless of
+// what it receives back. It is the t=0 state of the proportional-response
+// dynamics and the natural control in tournaments — any mechanism that
+// claims to reward contribution should separate from it on fairness and
+// incentive-ratio columns.
+type EqSplit struct{}
+
+// Name implements Mechanism.
+func (EqSplit) Name() string { return "eqsplit" }
+
+// Description implements Describer.
+func (EqSplit) Description() string {
+	return "equal-split baseline: x_vu = w_v/deg(v), no reciprocity (round-0 proportional response)"
+}
+
+// Certifiable implements Certifier.
+func (EqSplit) Certifiable() bool { return false }
+
+// Allocate implements Mechanism.
+func (EqSplit) Allocate(_ context.Context, g *graph.Graph) (*allocation.Allocation, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("mechanism/eqsplit: empty graph")
+	}
+	a := allocation.New(n)
+	for v := 0; v < n; v++ {
+		nb := g.Neighbors(v)
+		if len(nb) == 0 || g.Weight(v).IsZero() {
+			continue
+		}
+		share := g.Weight(v).DivInt(int64(len(nb)))
+		for _, u := range nb {
+			a.Add(v, u, share)
+		}
+	}
+	return a, nil
+}
+
+func init() { Register(EqSplit{}) }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/bottleneck"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mechanism"
 )
 
 // instanceCache is the size-bounded LRU keyed by CanonicalKey. An entry
@@ -135,6 +136,35 @@ func (e *cacheEntry) allocation(ctx context.Context, engine bottleneck.Engine) (
 		return nil, err
 	}
 	a, err = allocation.Compute(e.g, d)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.alloc == nil {
+		e.alloc = a
+	}
+	return e.alloc, nil
+}
+
+// mechAllocation returns the entry's allocation under mechanism m. For
+// decomposition-based backends (bd) it is the classic decompose-then-compute
+// path — engine selection honored, decompositions shared with /v1/decompose
+// — bit-identical to the pre-mechanism handler. Any other backend allocates
+// directly. The one alloc slot per entry stays unambiguous because entry
+// keys are mechanism-scoped (mechKey): a non-bd mechanism never resolves to
+// a bd entry or vice versa.
+func (e *cacheEntry) mechAllocation(ctx context.Context, m mechanism.Mechanism, engine bottleneck.Engine) (*allocation.Allocation, error) {
+	if _, ok := m.(mechanism.Decomposer); ok {
+		return e.allocation(ctx, engine)
+	}
+	e.mu.Lock()
+	a := e.alloc
+	e.mu.Unlock()
+	if a != nil {
+		return a, nil
+	}
+	a, err := m.Allocate(ctx, e.g)
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,11 @@ package server
 
 import (
 	"encoding/json"
+	"net/http/httptest"
+	"slices"
 	"testing"
+
+	"repro/internal/mechanism"
 )
 
 // FuzzRatDecode throws arbitrary strings at the wire-format rational
@@ -49,6 +53,52 @@ func FuzzRatDecode(f *testing.F) {
 		var back string
 		if err := json.Unmarshal(blob, &back); err != nil || back != enc {
 			t.Fatalf("JSON round trip %q -> %q (err %v)", enc, back, err)
+		}
+	})
+}
+
+// FuzzMechanismField throws arbitrary strings at the "mechanism" wire field
+// of /v1/allocate. The contract under fuzz: the server never crashes, and
+// the answer is exactly 200 for a registered name (or the empty default)
+// and 400 unknown_mechanism for everything else — no third outcome, no
+// case folding, no trimming.
+func FuzzMechanismField(f *testing.F) {
+	f.Add("")
+	f.Add("bd")
+	f.Add("pr")
+	f.Add("eqsplit")
+	f.Add("quantum")
+	f.Add("BD")
+	f.Add("bd ")
+	f.Add(" bd")
+	f.Add("bd\x00")
+	f.Add("bd;m=pr")
+	f.Add("механизм")
+
+	srv, err := New(Config{Logger: discardLogger()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	f.Cleanup(ts.Close)
+	f.Cleanup(func() { srv.Close() })
+	known := mechanism.Names()
+
+	f.Fuzz(func(t *testing.T, name string) {
+		status, raw := postJSON(t, ts.URL, "/v1/allocate",
+			AllocateRequest{Graph: WireGraph{Ring: []string{"1", "2", "3"}}, Mechanism: name})
+		if name == "" || slices.Contains(known, name) {
+			if status != 200 {
+				t.Fatalf("registered mechanism %q rejected: %d %s", name, status, raw)
+			}
+			return
+		}
+		if status != 400 {
+			t.Fatalf("unknown mechanism %q: status %d %s", name, status, raw)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(raw, &er); err != nil || er.Code != CodeUnknownMechanism {
+			t.Fatalf("unknown mechanism %q: body %s (err %v)", name, raw, err)
 		}
 	})
 }

@@ -13,6 +13,8 @@ import (
 	"repro/internal/cert/build"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/mechanism"
 	"repro/internal/numeric"
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -129,6 +131,13 @@ func writeResult(w http.ResponseWriter, r *http.Request, v any) {
 // entry for its canonical key, recording the hit/miss both on the request's
 // span and in the per-endpoint cache metrics.
 func (s *Server) entryForWire(w http.ResponseWriter, r *http.Request, wg *WireGraph) (*cacheEntry, bool) {
+	return s.entryForKeyed(w, r, wg, CanonicalKey)
+}
+
+// entryForKeyed is entryForWire under a caller-chosen key derivation —
+// the mechanism-scoped endpoints pass mechKey so backends never share
+// cached state (see mechanisms.go).
+func (s *Server) entryForKeyed(w http.ResponseWriter, r *http.Request, wg *WireGraph, keyOf func(*graph.Graph) string) (*cacheEntry, bool) {
 	g, err := wg.Build()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadGraph, err.Error())
@@ -138,7 +147,7 @@ func (s *Server) entryForWire(w http.ResponseWriter, r *http.Request, wg *WireGr
 		writeComputeError(w, r, err)
 		return nil, false
 	}
-	entry, hit := s.cache.entryFor(CanonicalKey(g), g)
+	entry, hit := s.cache.entryFor(keyOf(g), g)
 	s.metrics.cacheLookup(r.URL.Path, hit)
 	if sp := obs.FromContext(r.Context()); sp != nil {
 		if hit {
@@ -207,7 +216,16 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadEngine, err.Error())
 		return
 	}
-	entry, ok := s.entryForWire(w, r, &req.Graph)
+	m, ok := resolveWireMechanism(w, req.Mechanism)
+	if !ok {
+		return
+	}
+	if _, decomposes := m.(mechanism.Decomposer); !decomposes && req.Engine != "" && req.Engine != "auto" {
+		writeError(w, http.StatusBadRequest, CodeBadEngine,
+			fmt.Sprintf("engine selection applies to decomposition-based mechanisms, not %q", m.Name()))
+		return
+	}
+	entry, ok := s.entryForMech(w, r, &req.Graph, m)
 	if !ok {
 		return
 	}
@@ -217,7 +235,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	cctx, csp := obs.Start(ctx, "server.compute")
-	a, err := entry.allocation(cctx, engine)
+	a, err := entry.mechAllocation(cctx, m, engine)
 	csp.End()
 	if err != nil {
 		writeComputeError(w, r, err)
@@ -294,7 +312,11 @@ func (s *Server) handleRatio(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadGrid, "grid outside [0, 4096]")
 		return
 	}
-	entry, ok := s.entryForWire(w, r, &req.Graph)
+	m, ok := resolveWireMechanism(w, req.Mechanism)
+	if !ok {
+		return
+	}
+	entry, ok := s.entryForMech(w, r, &req.Graph, m)
 	if !ok {
 		return
 	}
@@ -307,6 +329,11 @@ func (s *Server) handleRatio(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	withCert := wantCert(r, req.Cert)
+	if withCert && !mechCertifiable(m) {
+		writeError(w, http.StatusBadRequest, CodeCertLimit,
+			fmt.Sprintf("certificates are only available for certifiable mechanisms (bd), not %q", m.Name()))
+		return
+	}
 	if withCert && entry.g.N() > maxCertRingSize {
 		writeError(w, http.StatusBadRequest, CodeCertLimit,
 			fmt.Sprintf("certificates are limited to rings of at most %d vertices, got %d", maxCertRingSize, entry.g.N()))
@@ -317,6 +344,10 @@ func (s *Server) handleRatio(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	if _, exact := m.(mechanism.RingOptimizer); !exact {
+		s.ratioGeneric(ctx, w, r, entry, m, &req)
+		return
+	}
 	// Micro-batch: concurrent ratio requests for the same (instance, agent,
 	// grid) share one optimizer run over the entry's shared solver state.
 	// The computation runs detached from any single request (computeBase),
@@ -408,6 +439,52 @@ type ratioBatchResult struct {
 	trace uint64
 }
 
+// ratioGeneric answers /v1/ratio for a mechanism without an exact ring
+// optimizer: the empirical best over the sweep grid (req.Grid, default 64),
+// computed by the generic mechanism sweep. Requests micro-batch on the
+// mechanism-scoped entry key exactly like the bd path, so concurrent
+// identical requests still share one run.
+func (s *Server) ratioGeneric(ctx context.Context, w http.ResponseWriter, r *http.Request, entry *cacheEntry, m mechanism.Mechanism, req *RatioRequest) {
+	cctx, csp := obs.Start(ctx, "server.compute")
+	key := fmt.Sprintf("%s|v=%d|grid=%d", entry.key, req.V, req.Grid)
+	val, joined, err := s.batch.do(cctx, key, s.computeBase, func(runCtx context.Context) (any, error) {
+		if err := fault.Hit(runCtx, fault.SiteServerBatch); err != nil {
+			return nil, err
+		}
+		res, err := mechanism.RingSweep(runCtx, m, entry.g, req.V, sybil.SweepOptions{Grid: req.Grid})
+		if err != nil {
+			return nil, err
+		}
+		if res.Partial {
+			// The batch deadline cut the sweep short; a grid ratio has no
+			// resume protocol (that's /v1/sweep), so report the timeout.
+			return nil, context.DeadlineExceeded
+		}
+		return res, nil
+	})
+	if csp != nil {
+		if joined {
+			csp.AddInt("batch_joined", 1)
+		} else {
+			csp.AddInt("batch_opened", 1)
+		}
+	}
+	csp.End()
+	if err != nil {
+		writeComputeError(w, r, err)
+		return
+	}
+	res := val.(*sybil.SweepResult)
+	writeResult(w, r, RatioResponse{
+		Honest: EncodeRat(res.Honest),
+		BestW1: EncodeRat(res.BestW1),
+		BestU:  EncodeRat(res.BestU),
+		Ratio:  EncodeRat(res.Ratio),
+		LeqTwo: res.Ratio.LessEq(numeric.Two),
+		Evals:  len(res.Points),
+	})
+}
+
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if !decodeBody(w, r, &req) {
@@ -421,7 +498,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadGrid, "grid outside [1, 4096]")
 		return
 	}
-	entry, ok := s.entryForWire(w, r, &req.Graph)
+	m, ok := resolveWireMechanism(w, req.Mechanism)
+	if !ok {
+		return
+	}
+	entry, ok := s.entryForMech(w, r, &req.Graph, m)
 	if !ok {
 		return
 	}
@@ -434,6 +515,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	withCert := wantCert(r, req.Cert)
+	if withCert && !mechCertifiable(m) {
+		writeError(w, http.StatusBadRequest, CodeCertLimit,
+			fmt.Sprintf("certificates are only available for certifiable mechanisms (bd), not %q", m.Name()))
+		return
+	}
 	if withCert {
 		if entry.g.N() > maxCertRingSize {
 			writeError(w, http.StatusBadRequest, CodeCertLimit,
@@ -455,7 +541,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		if tok.Key != entry.key || tok.V != req.V || tok.Grid != grid {
 			writeError(w, http.StatusBadRequest, CodePartialResult,
-				"resume token was minted for a different graph, agent, or grid")
+				"resume token was minted for a different graph, agent, grid, or mechanism")
 			return
 		}
 		if tok.Next < 0 || tok.Next > grid {
@@ -470,7 +556,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	cctx, csp := obs.Start(ctx, "server.compute")
-	resp, err := s.sweep(cctx, entry, req.V, grid, start, withCert)
+	resp, err := s.sweep(cctx, entry, m, req.V, grid, start, withCert)
 	csp.End()
 	if err != nil {
 		var ce *certError
@@ -492,27 +578,36 @@ type certError struct{ err error }
 func (e *certError) Error() string { return "certificate self-check: " + e.err.Error() }
 func (e *certError) Unwrap() error { return e.err }
 
-// sweep evaluates the split-utility curve on the entry's cached instance,
+// sweep evaluates the split-utility curve of mechanism m on the entry,
 // starting at grid index start (nonzero when resuming from a partial
-// result). It delegates to sybil.SweepInstanceCtx — the same code path as
-// the library sweep, point for point — so API answers stay bit-identical
-// to in-process results, while reusing the entry's core.Instance so
-// repeated sweeps of one instance pay only cache lookups. A sweep cut
+// result). Native sweepers (bd) run sybil.SweepInstanceCtx on the entry's
+// cached core.Instance — the same code path as the library sweep, point for
+// point, so API answers stay bit-identical to in-process results; other
+// mechanisms run the generic sweep (one split allocation per point) with
+// identical grid, best-point and partial-prefix semantics. A sweep cut
 // short by cancellation or the request deadline returns its completed
-// prefix and a resume token instead of an error.
+// prefix and a resume token (minted against the mechanism-scoped entry
+// key) instead of an error.
 //
-// With withCert set, a completed (non-partial, non-empty) segment is
-// additionally certified: the builder re-derives every point with flow
-// witnesses and cert.Check gates the answer. A partial segment skips the
-// certificate — its context is already at the deadline, and the client
-// resumes anyway; the final resumed segment carries the certificate of its
-// covered indices.
-func (s *Server) sweep(ctx context.Context, entry *cacheEntry, v, grid, start int, withCert bool) (*SweepResponse, error) {
-	in, err := entry.instance(ctx, v)
-	if err != nil {
-		return nil, err
+// With withCert set (bd only — the handler rejects other mechanisms with
+// cert_limit), a completed (non-partial, non-empty) segment is additionally
+// certified: the builder re-derives every point with flow witnesses and
+// cert.Check gates the answer. A partial segment skips the certificate —
+// its context is already at the deadline, and the client resumes anyway;
+// the final resumed segment carries the certificate of its covered indices.
+func (s *Server) sweep(ctx context.Context, entry *cacheEntry, m mechanism.Mechanism, v, grid, start int, withCert bool) (*SweepResponse, error) {
+	var res *sybil.SweepResult
+	var in *core.Instance
+	var err error
+	if _, native := m.(mechanism.RingSweeper); native {
+		in, err = entry.instance(ctx, v)
+		if err != nil {
+			return nil, err
+		}
+		res, err = sybil.SweepInstanceCtx(ctx, in, sybil.SweepOptions{Grid: grid, Start: start})
+	} else {
+		res, err = mechanism.RingSweep(ctx, m, entry.g, v, sybil.SweepOptions{Grid: grid, Start: start})
 	}
-	res, err := sybil.SweepInstanceCtx(ctx, in, sybil.SweepOptions{Grid: grid, Start: start})
 	if err != nil {
 		return nil, err
 	}

@@ -12,16 +12,23 @@ import (
 
 	"context"
 
+	"repro/internal/bottleneck"
 	"repro/internal/cert/enum"
 	"repro/internal/fault"
 	"repro/internal/jobs"
+	"repro/internal/mechanism"
 	"repro/internal/numeric"
 	"repro/internal/obs"
 )
 
 // jobKey is the content address of one sweep job: the canonical instance
 // key plus the sweep parameters. Two submissions describing the same sweep
-// — whatever spelling their graphs arrived in — dedupe to one job.
+// — whatever spelling their graphs arrived in — dedupe to one job. The
+// instance key is the mechanism-scoped entry key (mechKey), so sweeps of
+// the same graph under different mechanisms are distinct jobs, while bd
+// submissions keep their pre-registry addresses (bd entries use the bare
+// canonical key) and still dedupe against jobs persisted before mechanisms
+// existed.
 func jobKey(instanceKey string, v, grid int) string {
 	return fmt.Sprintf("%s|v=%d|grid=%d|sweep", instanceKey, v, grid)
 }
@@ -54,8 +61,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	case "enumerate":
 		s.submitEnumJob(w, r, &req)
 		return
+	case "tournament":
+		s.submitTournamentJob(w, r, &req)
+		return
 	default:
-		writeError(w, http.StatusBadRequest, CodeBadBody, fmt.Sprintf("unknown job kind %q (want sweep or enumerate)", req.Kind))
+		writeError(w, http.StatusBadRequest, CodeBadBody, fmt.Sprintf("unknown job kind %q (want sweep, enumerate, or tournament)", req.Kind))
 		return
 	}
 	grid := req.Grid
@@ -66,7 +76,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadGrid, "grid outside [1, 4096]")
 		return
 	}
-	entry, ok := s.entryForWire(w, r, &req.Graph)
+	m, ok := resolveWireMechanism(w, req.Mechanism)
+	if !ok {
+		return
+	}
+	entry, ok := s.entryForMech(w, r, &req.Graph, m)
 	if !ok {
 		return
 	}
@@ -78,7 +92,14 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadAgent, fmt.Sprintf("agent %d out of range [0, %d)", req.V, entry.g.N()))
 		return
 	}
-	spec, err := json.Marshal(sweepJobSpec{Graph: req.Graph, V: req.V, Grid: grid})
+	// The persisted mechanism is left empty for the default so specs (and
+	// replay behavior) of pre-registry submissions and bare bd submissions
+	// stay byte-identical.
+	mechName := ""
+	if m.Name() != mechanism.Default {
+		mechName = m.Name()
+	}
+	spec, err := json.Marshal(sweepJobSpec{Graph: req.Graph, V: req.V, Grid: grid, Mechanism: mechName})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
@@ -275,6 +296,11 @@ func wireJob(rec *jobs.Record, detail bool) WireJob {
 		if err := json.Unmarshal(rec.Spec, &spec); err == nil {
 			j.TotalPoints = spec.Total
 		}
+	case "tournament":
+		var spec tournamentJobSpec
+		if err := json.Unmarshal(rec.Spec, &spec); err == nil {
+			j.TotalPoints = spec.Total
+		}
 	default:
 		var spec sweepJobSpec
 		if err := json.Unmarshal(rec.Spec, &spec); err == nil && spec.Grid > 0 {
@@ -292,16 +318,22 @@ func wireJob(rec *jobs.Record, detail bool) WireJob {
 
 // runJob dispatches one durable job to its kind's runner.
 func (s *Server) runJob(ctx context.Context, rec *jobs.Record, ckpt jobs.CheckpointFunc) ([]byte, error) {
-	if rec.Kind == "enumerate" {
+	switch rec.Kind {
+	case "enumerate":
 		return s.runEnumJob(ctx, rec, ckpt)
+	case "tournament":
+		return s.runTournamentJob(ctx, rec, ckpt)
+	default:
+		return s.runSweepJob(ctx, rec, ckpt)
 	}
-	return s.runSweepJob(ctx, rec, ckpt)
 }
 
 // runSweepJob executes one sweep job. It walks the grid point by point —
-// the same per-point arithmetic as sybil.SweepInstanceCtx, sharing the
-// cached core.Instance with the inline endpoints — checkpointing each
-// completed index through ckpt, and resuming from rec.NextIndex using the
+// for the native bd mechanism the same per-point arithmetic as
+// sybil.SweepInstanceCtx, sharing the cached core.Instance with the inline
+// endpoints; for other mechanisms one mechanism.SplitUtility evaluation per
+// point, matching the generic inline sweep — checkpointing each completed
+// index through ckpt, and resuming from rec.NextIndex using the
 // checkpointed prefix verbatim. Because every quantity is exact and
 // serialized canonically, the final Result is bit-identical to the
 // /v1/sweep response of an uninterrupted run.
@@ -309,6 +341,10 @@ func (s *Server) runSweepJob(ctx context.Context, rec *jobs.Record, ckpt jobs.Ch
 	var spec sweepJobSpec
 	if err := json.Unmarshal(rec.Spec, &spec); err != nil {
 		return nil, fmt.Errorf("corrupt job spec: %w", err)
+	}
+	m, err := mechanism.Get(spec.Mechanism)
+	if err != nil {
+		return nil, fmt.Errorf("job spec mechanism: %w", err)
 	}
 	if s.collector != nil {
 		tr := s.collector.NewTrace("jobs.run")
@@ -320,6 +356,7 @@ func (s *Server) runSweepJob(ctx context.Context, rec *jobs.Record, ckpt jobs.Ch
 	if span != nil {
 		span.SetAttr("job", rec.ID)
 		span.SetAttr("grid", strconv.Itoa(spec.Grid))
+		span.SetAttr("mechanism", m.Name())
 		if rec.NextIndex > 0 {
 			span.SetAttr("resume_from", strconv.Itoa(rec.NextIndex))
 		}
@@ -328,11 +365,40 @@ func (s *Server) runSweepJob(ctx context.Context, rec *jobs.Record, ckpt jobs.Ch
 	if err != nil {
 		return nil, fmt.Errorf("job spec graph: %w", err)
 	}
-	entry, hit := s.cache.entryFor(CanonicalKey(g), g)
+	entry, hit := s.cache.entryFor(mechKey(g, m), g)
 	s.metrics.cacheLookup("/v1/jobs#run", hit)
-	in, err := entry.instance(ctx, spec.V)
-	if err != nil {
-		return nil, err
+
+	// Resolve the per-point evaluator and the honest baseline. Native
+	// sweepers (bd) go through the cached core.Instance — byte-identical to
+	// the pre-mechanism job runner; everything else allocates the honest
+	// graph once (cached on the entry) and evaluates splits generically.
+	var honest, W numeric.Rat
+	var eval func(context.Context, numeric.Rat) (numeric.Rat, error)
+	if _, native := m.(mechanism.RingSweeper); native {
+		in, err := entry.instance(ctx, spec.V)
+		if err != nil {
+			return nil, err
+		}
+		honest, W = in.HonestU, in.W()
+		eval = func(ctx context.Context, w1 numeric.Rat) (numeric.Rat, error) {
+			ev, err := in.EvalSplitCtx(ctx, w1)
+			if err != nil {
+				return numeric.Zero, err
+			}
+			return ev.U, nil
+		}
+	} else {
+		if spec.V < 0 || spec.V >= g.N() {
+			return nil, fmt.Errorf("agent %d out of range [0, %d)", spec.V, g.N())
+		}
+		a, err := entry.mechAllocation(ctx, m, bottleneck.EngineAuto)
+		if err != nil {
+			return nil, err
+		}
+		honest, W = a.Utility(spec.V), g.Weight(spec.V)
+		eval = func(ctx context.Context, w1 numeric.Rat) (numeric.Rat, error) {
+			return mechanism.SplitUtility(ctx, m, g, spec.V, w1)
+		}
 	}
 
 	// The checkpointed prefix re-enters the final answer verbatim: parse it
@@ -351,7 +417,6 @@ func (s *Server) runSweepJob(ctx context.Context, rec *jobs.Record, ckpt jobs.Ch
 		pts = append(pts, evaled{w1, u})
 	}
 
-	W := in.W()
 	for i := rec.NextIndex; i <= spec.Grid; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -360,14 +425,14 @@ func (s *Server) runSweepJob(ctx context.Context, rec *jobs.Record, ckpt jobs.Ch
 			return nil, err
 		}
 		w1 := W.MulInt(int64(i)).DivInt(int64(spec.Grid))
-		ev, err := in.EvalSplitCtx(ctx, w1)
+		u, err := eval(ctx, w1)
 		if err != nil {
 			return nil, err
 		}
-		if err := ckpt(i, []jobs.Point{{W1: EncodeRat(w1), U: EncodeRat(ev.U)}}); err != nil {
+		if err := ckpt(i, []jobs.Point{{W1: EncodeRat(w1), U: EncodeRat(u)}}); err != nil {
 			return nil, err
 		}
-		pts = append(pts, evaled{w1, ev.U})
+		pts = append(pts, evaled{w1, u})
 	}
 
 	// Best-point selection and the ratio rule mirror sybil.SweepInstanceCtx
@@ -382,7 +447,6 @@ func (s *Server) runSweepJob(ctx context.Context, rec *jobs.Record, ckpt jobs.Ch
 			best = p
 		}
 	}
-	honest := in.HonestU
 	var ratio numeric.Rat
 	switch {
 	case honest.Sign() > 0:

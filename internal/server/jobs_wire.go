@@ -3,25 +3,31 @@ package server
 import "encoding/json"
 
 // Wire types of the /v1/jobs API: durable, resumable background jobs
-// executed by the scheduler in internal/jobs. Two kinds exist: "sweep" (the
-// default) walks one agent's split-utility curve; "enumerate" exhaustively
-// certifies every small ring over a rational lattice (internal/cert/enum).
-// Submission is content-addressed — the job ID derives from the canonical
-// parameters — so resubmitting equivalent work returns the existing job
-// instead of duplicating it.
+// executed by the scheduler in internal/jobs. Three kinds exist: "sweep"
+// (the default) walks one agent's split-utility curve under a chosen
+// mechanism; "enumerate" exhaustively certifies every small ring over a
+// rational lattice (internal/cert/enum); "tournament" evaluates every
+// selected mechanism on an instance set (internal/mechanism). Submission is
+// content-addressed — the job ID derives from the canonical parameters,
+// mechanism included — so resubmitting equivalent work returns the existing
+// job instead of duplicating it.
 
 // JobSubmitRequest is the body of POST /v1/jobs. Kind selects the job type:
 // "" or "sweep" runs the agent-V sweep of Graph at Grid+1 points (0 =
-// default 64); "enumerate" runs the exhaustive small-n certification
-// described by Enum (Graph/V/Grid are ignored). Priority orders the
-// scheduler queue (higher first, FIFO within a priority).
+// default 64) under Mechanism ("" = default "bd"); "enumerate" runs the
+// exhaustive small-n certification described by Enum; "tournament" runs the
+// cross-mechanism evaluation described by Tournament (Graph/V/Grid/Mechanism
+// are ignored for the latter two). Priority orders the scheduler queue
+// (higher first, FIFO within a priority).
 type JobSubmitRequest struct {
-	Kind     string          `json:"kind,omitempty"`
-	Graph    WireGraph       `json:"graph,omitempty"`
-	V        int             `json:"v,omitempty"`
-	Grid     int             `json:"grid,omitempty"`
-	Priority int             `json:"priority,omitempty"`
-	Enum     *EnumJobRequest `json:"enum,omitempty"`
+	Kind       string             `json:"kind,omitempty"`
+	Graph      WireGraph          `json:"graph,omitempty"`
+	V          int                `json:"v,omitempty"`
+	Grid       int                `json:"grid,omitempty"`
+	Mechanism  string             `json:"mechanism,omitempty"`
+	Priority   int                `json:"priority,omitempty"`
+	Enum       *EnumJobRequest    `json:"enum,omitempty"`
+	Tournament *TournamentRequest `json:"tournament,omitempty"`
 }
 
 // EnumJobRequest parameterizes a kind "enumerate" job: certify every
@@ -40,10 +46,14 @@ type EnumJobRequest struct {
 // sweepJobSpec is the persisted job specification: enough to re-derive the
 // computation after a restart. The graph is stored in its canonical wire
 // form so recovery does not depend on how the submitter spelled it.
+// Mechanism is the resolved backend name; empty in specs persisted before
+// the mechanism registry existed, which resolves to the default "bd" — so
+// pre-existing job stores replay unchanged.
 type sweepJobSpec struct {
-	Graph WireGraph `json:"graph"`
-	V     int       `json:"v"`
-	Grid  int       `json:"grid"`
+	Graph     WireGraph `json:"graph"`
+	V         int       `json:"v"`
+	Grid      int       `json:"grid"`
+	Mechanism string    `json:"mechanism,omitempty"`
 }
 
 // enumJobSpec is the persisted specification of an enumerate job. All
@@ -62,10 +72,11 @@ type enumJobSpec struct {
 // WireJob is the API view of one job. Points carries the checkpointed
 // prefix (indices [0, NextIndex)) and is populated only on the detail view;
 // for sweep jobs a point is (w1, u), for enumerate jobs it is (instance key,
-// certified ratio — or "!"-prefixed error). Result is the final body once
-// the job is done: a SweepResponse for sweeps (bit-identical to an
-// uninterrupted /v1/sweep of the same request) or an enum.Summary for
-// enumerations.
+// certified ratio — or "!"-prefixed error), for tournament jobs it is
+// (row-major cell index, cell JSON). Result is the final body once the job
+// is done: a SweepResponse for sweeps (bit-identical to an uninterrupted
+// /v1/sweep of the same request), an enum.Summary for enumerations, or a
+// TournamentResponse for tournaments.
 type WireJob struct {
 	ID          string           `json:"id"`
 	Kind        string           `json:"kind"`

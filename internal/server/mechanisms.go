@@ -1,0 +1,417 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/jobs"
+	"repro/internal/mechanism"
+	"repro/internal/numeric"
+	"repro/internal/obs"
+)
+
+// Mechanism-aware plumbing: every compute endpoint that accepts a
+// "mechanism" field resolves it here, and all derived state — cache
+// entries, micro-batches, resume tokens, durable job dedup — is scoped by
+// mechKey, so backends never share or mix results.
+
+// resolveWireMechanism maps the wire mechanism name ("" = bd) to its
+// backend, answering 400 unknown_mechanism on failure.
+func resolveWireMechanism(w http.ResponseWriter, name string) (mechanism.Mechanism, bool) {
+	m, err := mechanism.Get(name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeUnknownMechanism, err.Error())
+		return nil, false
+	}
+	return m, true
+}
+
+// mechCertifiable reports whether m can build exact certificates — the gate
+// behind every ?cert=1 path: non-certifiable mechanisms answer cert_limit.
+func mechCertifiable(m mechanism.Mechanism) bool {
+	c, ok := m.(mechanism.Certifier)
+	return ok && c.Certifiable()
+}
+
+// mechKey scopes a canonical instance key by mechanism. The default backend
+// keeps the bare CanonicalKey — preserving every pre-mechanism cache entry,
+// resume token and job address bit for bit — while any other backend gets a
+// ";m=<name>" suffix. The suffix rides along wherever the entry key goes
+// (batch keys, resume tokens, job keys), which is exactly what makes those
+// artifacts mechanism-scoped without any second bookkeeping channel.
+func mechKey(g *graph.Graph, m mechanism.Mechanism) string {
+	key := CanonicalKey(g)
+	if m.Name() != mechanism.Default {
+		key += ";m=" + m.Name()
+	}
+	return key
+}
+
+// entryForMech is entryForWire with a mechanism-scoped cache key.
+func (s *Server) entryForMech(w http.ResponseWriter, r *http.Request, wg *WireGraph, m mechanism.Mechanism) (*cacheEntry, bool) {
+	return s.entryForKeyed(w, r, wg, func(g *graph.Graph) string { return mechKey(g, m) })
+}
+
+// MechanismsResponse is the body of GET /v1/mechanisms: every registered
+// backend in sorted name order (byte-stable across processes), with its
+// capability flags. Any listed name is a valid "mechanism" request field.
+type MechanismsResponse struct {
+	Default    string           `json:"default"`
+	Mechanisms []mechanism.Info `json:"mechanisms"`
+}
+
+// handleMechanisms is GET /v1/mechanisms, the discovery endpoint of the
+// pluggable-backend layer.
+func (s *Server) handleMechanisms(w http.ResponseWriter, r *http.Request) {
+	writeResult(w, r, MechanismsResponse{Default: mechanism.Default, Mechanisms: mechanism.Infos()})
+}
+
+// Tournament limits: one request fans out |instances| × |mechanisms| full
+// sweeps, so both axes are capped tighter than the single-sweep endpoints.
+const (
+	maxTournamentInstances = 32
+	maxTournamentGrid      = 1024
+)
+
+// TournamentWireInstance is one tournament arena: a ring graph and the
+// attacker vertex whose Sybil split curve is swept under every mechanism.
+type TournamentWireInstance struct {
+	Graph WireGraph `json:"graph"`
+	V     int       `json:"v"`
+}
+
+// TournamentRequest is the body of POST /v1/tournament: evaluate every
+// selected mechanism (empty = all registered) on every instance under the
+// identical attack grid (0 = default 64).
+type TournamentRequest struct {
+	Instances  []TournamentWireInstance `json:"instances"`
+	Mechanisms []string                 `json:"mechanisms,omitempty"`
+	Grid       int                      `json:"grid,omitempty"`
+}
+
+// WireTournamentCell is one (instance, mechanism) evaluation.
+type WireTournamentCell struct {
+	Mechanism  string `json:"mechanism"`
+	Efficiency string `json:"efficiency"`
+	Fairness   string `json:"fairness"`
+	Honest     string `json:"honest"`
+	BestW1     string `json:"best_w1"`
+	BestU      string `json:"best_u"`
+	Ratio      string `json:"ratio"`
+}
+
+// WireMechanismSummary aggregates one mechanism's column over all instances.
+type WireMechanismSummary struct {
+	Mechanism       string `json:"mechanism"`
+	Instances       int    `json:"instances"`
+	MaxRatio        string `json:"max_ratio"`
+	MeanRatio       string `json:"mean_ratio"`
+	MinFairness     string `json:"min_fairness"`
+	TotalEfficiency string `json:"total_efficiency"`
+}
+
+// TournamentResponse is the body of a /v1/tournament answer (and the final
+// Result of a durable tournament job): Cells[i][j] is instance i under
+// Mechanisms[j] (sorted), so the layout is deterministic and byte-stable.
+type TournamentResponse struct {
+	Mechanisms []string               `json:"mechanisms"`
+	Grid       int                    `json:"grid"`
+	Cells      [][]WireTournamentCell `json:"cells"`
+	Summary    []WireMechanismSummary `json:"summary"`
+}
+
+func wireCell(c mechanism.Cell) WireTournamentCell {
+	return WireTournamentCell{
+		Mechanism:  c.Mechanism,
+		Efficiency: EncodeRat(c.Efficiency),
+		Fairness:   EncodeRat(c.Fairness),
+		Honest:     EncodeRat(c.Honest),
+		BestW1:     EncodeRat(c.BestW1),
+		BestU:      EncodeRat(c.BestU),
+		Ratio:      EncodeRat(c.Ratio),
+	}
+}
+
+func wireTournament(res *mechanism.TournamentResult) *TournamentResponse {
+	out := &TournamentResponse{
+		Mechanisms: res.Mechanisms,
+		Grid:       res.Grid,
+		Cells:      make([][]WireTournamentCell, len(res.Cells)),
+		Summary:    make([]WireMechanismSummary, len(res.Summary)),
+	}
+	for i, row := range res.Cells {
+		out.Cells[i] = make([]WireTournamentCell, len(row))
+		for j, c := range row {
+			out.Cells[i][j] = wireCell(c)
+		}
+	}
+	for j, s := range res.Summary {
+		out.Summary[j] = WireMechanismSummary{
+			Mechanism:       s.Mechanism,
+			Instances:       s.Instances,
+			MaxRatio:        EncodeRat(s.MaxRatio),
+			MeanRatio:       EncodeRat(s.MeanRatio),
+			MinFairness:     EncodeRat(s.MinFairness),
+			TotalEfficiency: EncodeRat(s.TotalEfficiency),
+		}
+	}
+	return out
+}
+
+// validateTournament resolves and validates a tournament request shared by
+// the inline endpoint and job submission: mechanism set (sorted, deduped),
+// grid bounds, and per-instance ring/agent checks. The returned instance
+// keys are the bare canonical keys in request order.
+func (s *Server) validateTournament(w http.ResponseWriter, req *TournamentRequest) (insts []mechanism.TournamentInstance, keys, names []string, grid int, ok bool) {
+	names, err := mechanism.ResolveSet(req.Mechanisms)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeUnknownMechanism, err.Error())
+		return nil, nil, nil, 0, false
+	}
+	grid = req.Grid
+	if grid == 0 {
+		grid = 64
+	}
+	if grid < 0 || grid > maxTournamentGrid {
+		writeError(w, http.StatusBadRequest, CodeBadGrid, fmt.Sprintf("grid outside [1, %d]", maxTournamentGrid))
+		return nil, nil, nil, 0, false
+	}
+	if len(req.Instances) == 0 || len(req.Instances) > maxTournamentInstances {
+		writeError(w, http.StatusBadRequest, CodeBadGraph,
+			fmt.Sprintf("tournament needs between 1 and %d instances, got %d", maxTournamentInstances, len(req.Instances)))
+		return nil, nil, nil, 0, false
+	}
+	for i := range req.Instances {
+		g, err := req.Instances[i].Graph.Build()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadGraph, fmt.Sprintf("instances[%d]: %v", i, err))
+			return nil, nil, nil, 0, false
+		}
+		if !g.IsRing() {
+			writeError(w, http.StatusBadRequest, CodeNotRing, fmt.Sprintf("instances[%d]: tournament requires ring graphs", i))
+			return nil, nil, nil, 0, false
+		}
+		v := req.Instances[i].V
+		if v < 0 || v >= g.N() {
+			writeError(w, http.StatusBadRequest, CodeBadAgent,
+				fmt.Sprintf("instances[%d]: agent %d out of range [0, %d)", i, v, g.N()))
+			return nil, nil, nil, 0, false
+		}
+		insts = append(insts, mechanism.TournamentInstance{G: g, V: v})
+		keys = append(keys, CanonicalKey(g))
+	}
+	return insts, keys, names, grid, true
+}
+
+// handleTournament is POST /v1/tournament: the inline head-to-head run.
+// For long grids or many instances, submit a kind "tournament" job instead
+// — same validation, same final body, durable across restarts.
+func (s *Server) handleTournament(w http.ResponseWriter, r *http.Request) {
+	var req TournamentRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	insts, _, names, grid, ok := s.validateTournament(w, &req)
+	if !ok {
+		return
+	}
+	ctx, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	cctx, csp := obs.Start(ctx, "server.compute")
+	res, err := mechanism.Tournament(cctx, insts, mechanism.TournamentOptions{Mechanisms: names, Grid: grid})
+	csp.End()
+	if err != nil {
+		writeComputeError(w, r, err)
+		return
+	}
+	writeResult(w, r, wireTournament(res))
+}
+
+// tournamentJobKey is the content address of one tournament job: the
+// canonical instance keys with their attacker vertices, the grid, and the
+// resolved mechanism set — the complete determinants of the result.
+func tournamentJobKey(keys []string, vs []int, grid int, names []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tournament|grid=%d|m=%s|i=", grid, strings.Join(names, ","))
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%s@%d", k, vs[i])
+	}
+	return b.String()
+}
+
+// tournamentJobSpec is the persisted specification of a tournament job: the
+// validated instances in canonical wire form, the resolved (sorted) set of
+// mechanisms, the grid, and the pinned cell count. Cells are addressed
+// row-major — cell k is instance k/len(M) under mechanism k%len(M) — so
+// progress and resume never depend on re-deriving the layout.
+type tournamentJobSpec struct {
+	Instances  []TournamentWireInstance `json:"instances"`
+	Mechanisms []string                 `json:"mechanisms"`
+	Grid       int                      `json:"grid"`
+	Total      int                      `json:"total"`
+}
+
+// submitTournamentJob validates and enqueues a kind "tournament" job.
+func (s *Server) submitTournamentJob(w http.ResponseWriter, r *http.Request, req *JobSubmitRequest) {
+	var tr TournamentRequest
+	if req.Tournament != nil {
+		tr = *req.Tournament
+	}
+	insts, keys, names, grid, ok := s.validateTournament(w, &tr)
+	if !ok {
+		return
+	}
+	spec := tournamentJobSpec{
+		Instances:  make([]TournamentWireInstance, len(tr.Instances)),
+		Mechanisms: names,
+		Grid:       grid,
+		Total:      len(insts) * len(names),
+	}
+	vs := make([]int, len(insts))
+	for i, inst := range tr.Instances {
+		spec.Instances[i] = inst
+		vs[i] = inst.V
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	rec, enqueued, err := s.jobSched.Submit(r.Context(), jobs.Submission{
+		Key:      tournamentJobKey(keys, vs, grid, names),
+		Kind:     "tournament",
+		Spec:     raw,
+		Priority: req.Priority,
+	})
+	if err != nil {
+		writeComputeError(w, r, err)
+		return
+	}
+	status := http.StatusAccepted
+	if !enqueued {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, JobSubmitResponse{Job: wireJob(rec, false), Deduped: !enqueued})
+}
+
+// Tournament-job checkpoints reuse the sweep Point shape: W1 carries the
+// row-major cell index in decimal, U the WireTournamentCell JSON. Exact
+// rationals serialize canonically inside the cell, so a replayed checkpoint
+// re-enters the final answer bit for bit.
+func encodeTournamentCell(idx int, c mechanism.Cell) (jobs.Point, error) {
+	raw, err := json.Marshal(wireCell(c))
+	if err != nil {
+		return jobs.Point{}, err
+	}
+	return jobs.Point{W1: strconv.Itoa(idx), U: string(raw)}, nil
+}
+
+func decodeTournamentCell(p jobs.Point) (mechanism.Cell, error) {
+	var wc WireTournamentCell
+	if err := json.Unmarshal([]byte(p.U), &wc); err != nil {
+		return mechanism.Cell{}, fmt.Errorf("checkpoint cell %s: %w", p.W1, err)
+	}
+	c := mechanism.Cell{Mechanism: wc.Mechanism}
+	var err error
+	for _, f := range []struct {
+		s   string
+		dst *numeric.Rat
+	}{
+		{wc.Efficiency, &c.Efficiency}, {wc.Fairness, &c.Fairness},
+		{wc.Honest, &c.Honest}, {wc.BestW1, &c.BestW1},
+		{wc.BestU, &c.BestU}, {wc.Ratio, &c.Ratio},
+	} {
+		if *f.dst, err = DecodeRat(f.s); err != nil {
+			return mechanism.Cell{}, fmt.Errorf("checkpoint cell %s: %w", p.W1, err)
+		}
+	}
+	return c, nil
+}
+
+// runTournamentJob executes one tournament job cell by cell, checkpointing
+// each completed (instance, mechanism) evaluation so a restart resumes at
+// the first unevaluated cell. The cell order is pinned (row-major over the
+// persisted spec), the evaluations are exact, and the summaries are
+// recomputed from the full cell matrix at the end — so the final Result is
+// bit-identical whether or not the job was ever interrupted.
+func (s *Server) runTournamentJob(ctx context.Context, rec *jobs.Record, ckpt jobs.CheckpointFunc) ([]byte, error) {
+	var spec tournamentJobSpec
+	if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+		return nil, fmt.Errorf("corrupt job spec: %w", err)
+	}
+	if len(spec.Mechanisms) == 0 || len(spec.Instances) == 0 {
+		return nil, fmt.Errorf("corrupt job spec: empty instance or mechanism set")
+	}
+	if s.collector != nil {
+		tr := s.collector.NewTrace("jobs.run")
+		ctx = tr.Context(ctx)
+		defer tr.Finish()
+	}
+	ctx, span := obs.Start(ctx, "jobs.tournament")
+	defer span.End()
+	if span != nil {
+		span.SetAttr("job", rec.ID)
+		span.SetAttr("total", strconv.Itoa(spec.Total))
+		if rec.NextIndex > 0 {
+			span.SetAttr("resume_from", strconv.Itoa(rec.NextIndex))
+		}
+	}
+	gs := make([]*graph.Graph, len(spec.Instances))
+	for i := range spec.Instances {
+		g, err := spec.Instances[i].Graph.Build()
+		if err != nil {
+			return nil, fmt.Errorf("job spec instance %d: %w", i, err)
+		}
+		gs[i] = g
+	}
+	nm := len(spec.Mechanisms)
+	cells := make([]mechanism.Cell, 0, spec.Total)
+	for _, p := range rec.Points {
+		c, err := decodeTournamentCell(p)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, c)
+	}
+	for k := rec.NextIndex; k < spec.Total; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		i, j := k/nm, k%nm
+		m, err := mechanism.Get(spec.Mechanisms[j])
+		if err != nil {
+			return nil, fmt.Errorf("job spec mechanism: %w", err)
+		}
+		cell, err := mechanism.EvaluateCell(ctx, m, gs[i], spec.Instances[i].V, spec.Grid, 0)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("cell %d (instance %d, %s): %w", k, i, spec.Mechanisms[j], err)
+		}
+		pt, err := encodeTournamentCell(k, cell)
+		if err != nil {
+			return nil, err
+		}
+		if err := ckpt(k, []jobs.Point{pt}); err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
+	matrix := make([][]mechanism.Cell, len(spec.Instances))
+	for i := range matrix {
+		matrix[i] = cells[i*nm : (i+1)*nm]
+	}
+	return json.Marshal(wireTournament(mechanism.Summarize(spec.Mechanisms, spec.Grid, matrix)))
+}

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mechanism"
+)
+
+// TestGoldenMechanismWire pins the wire contract of the mechanism layer:
+// the GET /v1/mechanisms discovery body, the unknown_mechanism error shape
+// on every mechanism-aware endpoint, the cert_limit answer for certificate
+// requests against non-certifiable backends, and a small deterministic
+// tournament. Golden files regenerate with -update.
+func TestGoldenMechanismWire(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	ring := WireGraph{Ring: []string{"1", "2", "3", "4", "5"}}
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+	}{
+		{"mechanisms", http.MethodGet, "/v1/mechanisms", nil},
+		{"error_unknown_mechanism_allocate", http.MethodPost, "/v1/allocate", AllocateRequest{Graph: ring, Mechanism: "quantum"}},
+		{"error_unknown_mechanism_ratio", http.MethodPost, "/v1/ratio", RatioRequest{Graph: ring, V: 1, Mechanism: "quantum"}},
+		{"error_unknown_mechanism_sweep", http.MethodPost, "/v1/sweep", SweepRequest{Graph: ring, V: 1, Mechanism: "quantum"}},
+		{"error_cert_mechanism_ratio", http.MethodPost, "/v1/ratio", RatioRequest{Graph: ring, V: 1, Mechanism: "pr", Cert: true}},
+		{"error_cert_mechanism_sweep", http.MethodPost, "/v1/sweep", SweepRequest{Graph: ring, V: 1, Grid: 4, Mechanism: "eqsplit", Cert: true}},
+		{"allocate_eqsplit", http.MethodPost, "/v1/allocate", AllocateRequest{Graph: ring, Mechanism: "eqsplit"}},
+		{"ratio_eqsplit", http.MethodPost, "/v1/ratio", RatioRequest{Graph: ring, V: 2, Grid: 8, Mechanism: "eqsplit"}},
+		{"tournament_small", http.MethodPost, "/v1/tournament", TournamentRequest{
+			Instances:  []TournamentWireInstance{{Graph: ring, V: 2}, {Graph: WireGraph{Ring: []string{"9", "1", "1", "1"}}, V: 0}},
+			Mechanisms: []string{"bd", "eqsplit"},
+			Grid:       4,
+		}},
+		{"error_tournament_unknown_mechanism", http.MethodPost, "/v1/tournament", TournamentRequest{
+			Instances:  []TournamentWireInstance{{Graph: ring, V: 0}},
+			Mechanisms: []string{"bd", "quantum"},
+		}},
+		{"error_tournament_not_ring", http.MethodPost, "/v1/tournament", TournamentRequest{
+			Instances: []TournamentWireInstance{{Graph: WireGraph{Path: []string{"1", "2", "3"}}, V: 0}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var raw []byte
+			var status int
+			if tc.method == http.MethodGet {
+				resp, err := http.Get(ts.URL + tc.path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				raw, err = io.ReadAll(resp.Body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				status = resp.StatusCode
+			} else {
+				status, raw = postJSON(t, ts.URL, tc.path, tc.body)
+			}
+			if wantErr := strings.HasPrefix(tc.name, "error"); wantErr != (status != http.StatusOK) {
+				t.Fatalf("status %d for case %s: %s", status, tc.name, raw)
+			}
+			path := filepath.Join("testdata", "golden", tc.name+".json")
+			if *updateGolden {
+				if err := os.WriteFile(path, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(raw, want) {
+				t.Fatalf("wire format drifted from %s:\ngot:  %swant: %s", path, raw, want)
+			}
+		})
+	}
+}
+
+// TestMechanismBDWireEquivalence pins the default-path contract at the wire
+// layer: /v1/allocate, /v1/ratio, and /v1/sweep answer byte-identically
+// whether the mechanism field is absent or explicitly "bd" — with the cache
+// enabled and disabled.
+func TestMechanismBDWireEquivalence(t *testing.T) {
+	graphs := []WireGraph{
+		{Ring: []string{"1", "2", "3", "4", "5"}},
+		{Ring: []string{"7/2", "1", "1/3", "9", "2", "2"}},
+		{Path: []string{"2", "1", "2", "5"}},
+		{N: 4, Weights: []string{"1/2", "3", "3", "1/2"}, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+	}
+	for _, capacity := range []int{-1, 64} {
+		_, ts := newTestServer(t, Config{CacheSize: capacity})
+		for gi, wg := range graphs {
+			_, bare := postJSON(t, ts.URL, "/v1/allocate", AllocateRequest{Graph: wg})
+			_, tagged := postJSON(t, ts.URL, "/v1/allocate", AllocateRequest{Graph: wg, Mechanism: "bd"})
+			if !bytes.Equal(bare, tagged) {
+				t.Fatalf("cache=%d graph %d: /v1/allocate diverges with mechanism=bd:\n%s\n%s", capacity, gi, bare, tagged)
+			}
+			ring := wg.Ring != nil
+			if !ring {
+				continue
+			}
+			_, bare = postJSON(t, ts.URL, "/v1/ratio", RatioRequest{Graph: wg, V: 1, Grid: 8})
+			_, tagged = postJSON(t, ts.URL, "/v1/ratio", RatioRequest{Graph: wg, V: 1, Grid: 8, Mechanism: "bd"})
+			if !bytes.Equal(bare, tagged) {
+				t.Fatalf("cache=%d graph %d: /v1/ratio diverges with mechanism=bd:\n%s\n%s", capacity, gi, bare, tagged)
+			}
+			_, bare = postJSON(t, ts.URL, "/v1/sweep", SweepRequest{Graph: wg, V: 1, Grid: 6})
+			_, tagged = postJSON(t, ts.URL, "/v1/sweep", SweepRequest{Graph: wg, V: 1, Grid: 6, Mechanism: "bd"})
+			if !bytes.Equal(bare, tagged) {
+				t.Fatalf("cache=%d graph %d: /v1/sweep diverges with mechanism=bd:\n%s\n%s", capacity, gi, bare, tagged)
+			}
+		}
+	}
+}
+
+// TestMechanismScopedCache proves backends never share cached state: the
+// same graph under bd and pr occupies two distinct cache entries with
+// distinct allocations, and repeats of each are cache hits.
+func TestMechanismScopedCache(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	ring := WireGraph{Ring: []string{"3", "1", "2", "1", "5"}}
+
+	var bd, pr AllocateResponse
+	mustPost(t, ts.URL, "/v1/allocate", AllocateRequest{Graph: ring}, &bd)
+	mustPost(t, ts.URL, "/v1/allocate", AllocateRequest{Graph: ring, Mechanism: "pr"}, &pr)
+	if srv.cache.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2 (one per mechanism)", srv.cache.len())
+	}
+	same := true
+	for v := range bd.Utilities {
+		if bd.Utilities[v] != pr.Utilities[v] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("pr answered with bd's utilities — mechanism cache entries are mixed")
+	}
+
+	var pr2 AllocateResponse
+	raw := mustPost(t, ts.URL, "/v1/allocate", AllocateRequest{Graph: ring, Mechanism: "pr"}, &pr2)
+	var raw1 bytes.Buffer
+	if err := json.NewEncoder(&raw1).Encode(pr); err != nil {
+		t.Fatal(err)
+	}
+	if srv.cache.len() != 2 {
+		t.Fatalf("repeat pr request changed entry count to %d", srv.cache.len())
+	}
+	var prBack AllocateResponse
+	if err := json.Unmarshal(raw, &prBack); err != nil {
+		t.Fatal(err)
+	}
+	for v := range pr.Utilities {
+		if pr.Utilities[v] != prBack.Utilities[v] {
+			t.Fatalf("cached pr answer drifted at %d", v)
+		}
+	}
+}
+
+// TestSweepMechanismGenericAndResumeScope runs the generic sweep end to end
+// for a non-native backend and pins mechanism-scoped resume tokens: a token
+// minted under one mechanism is rejected when replayed under another.
+func TestSweepMechanismGenericAndResumeScope(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	ring := WireGraph{Ring: []string{"3", "1", "2", "1", "5"}}
+
+	var resp SweepResponse
+	mustPost(t, ts.URL, "/v1/sweep", SweepRequest{Graph: ring, V: 0, Grid: 8, Mechanism: "eqsplit"}, &resp)
+	if len(resp.Points) != 9 {
+		t.Fatalf("generic sweep returned %d points, want 9", len(resp.Points))
+	}
+	if resp.Partial {
+		t.Fatal("uninterrupted generic sweep reported partial")
+	}
+
+	// Forge the cross-mechanism replay: a token carrying the eqsplit-scoped
+	// key must not resume a bd sweep of the same graph/agent/grid.
+	g, err := ring.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqm, err := mechanism.Get("eqsplit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := encodeResumeToken(resumeToken{Key: mechKey(g, eqm), V: 0, Grid: 8, Next: 4})
+	status, raw := postJSON(t, ts.URL, "/v1/sweep", SweepRequest{Graph: ring, V: 0, Grid: 8, Resume: tok})
+	if status != http.StatusBadRequest {
+		t.Fatalf("cross-mechanism resume accepted: %d %s", status, raw)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(raw, &er); err != nil || er.Code != CodePartialResult {
+		t.Fatalf("cross-mechanism resume error = %s (err %v)", raw, err)
+	}
+	// The same token is valid under its own mechanism.
+	var resumed SweepResponse
+	mustPost(t, ts.URL, "/v1/sweep", SweepRequest{Graph: ring, V: 0, Grid: 8, Mechanism: "eqsplit", Resume: tok}, &resumed)
+	if resumed.StartIndex != 4 || len(resumed.Points) != 5 {
+		t.Fatalf("scoped resume: start %d, %d points", resumed.StartIndex, len(resumed.Points))
+	}
+	for i, p := range resumed.Points {
+		if p != resp.Points[4+i] {
+			t.Fatalf("resumed point %d diverges from full sweep", i)
+		}
+	}
+}

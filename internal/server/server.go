@@ -219,6 +219,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/utilities", s.instrument("/v1/utilities", s.handleUtilities))
 	mux.HandleFunc("POST /v1/ratio", s.instrument("/v1/ratio", s.handleRatio))
 	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	mux.HandleFunc("GET /v1/mechanisms", s.instrument("/v1/mechanisms", s.handleMechanisms))
+	mux.HandleFunc("POST /v1/tournament", s.instrument("/v1/tournament", s.handleTournament))
 	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJobSubmit))
 	mux.HandleFunc("GET /v1/jobs", s.instrument("/v1/jobs", s.handleJobList))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))

@@ -225,10 +225,15 @@ type DecomposeResponse struct {
 	Signature string       `json:"signature"`
 }
 
-// AllocateRequest is the body of POST /v1/allocate.
+// AllocateRequest is the body of POST /v1/allocate. Mechanism selects the
+// allocation backend by registry name ("" = "bd", bit-identical to before
+// the field existed; see GET /v1/mechanisms); an unknown name answers 400
+// unknown_mechanism. Engine tunes the bottleneck solver and therefore only
+// applies to decomposition-based mechanisms.
 type AllocateRequest struct {
-	Graph  WireGraph `json:"graph"`
-	Engine string    `json:"engine,omitempty"`
+	Graph     WireGraph `json:"graph"`
+	Engine    string    `json:"engine,omitempty"`
+	Mechanism string    `json:"mechanism,omitempty"`
 }
 
 // WireTransfer is one directed allocation x[from → to] > 0.
@@ -267,6 +272,11 @@ type RatioRequest struct {
 	V     int       `json:"v"`
 	Grid  int       `json:"grid,omitempty"`
 	Cert  bool      `json:"cert,omitempty"`
+	// Mechanism selects the allocation backend ("" = "bd"). Backends without
+	// an exact ring optimizer answer the empirical best over the sweep grid
+	// (evals = grid+1 points, pieces = 0); certificates stay bd-only, so
+	// cert with any other mechanism answers 400 cert_limit.
+	Mechanism string `json:"mechanism,omitempty"`
 }
 
 // RatioResponse is the body of a /v1/ratio answer: the attacker's honest
@@ -305,6 +315,11 @@ type SweepRequest struct {
 	// Cert (equivalently ?cert=1) requests a sweep-cert/v1 certificate of
 	// the completed sweep segment.
 	Cert bool `json:"cert,omitempty"`
+	// Mechanism selects the allocation backend ("" = "bd"). Sweep state —
+	// cache entries, resume tokens, durable job dedup — is mechanism-scoped:
+	// a resume token minted under one mechanism is rejected under another
+	// with code partial_result. Certificates stay bd-only (cert_limit).
+	Mechanism string `json:"mechanism,omitempty"`
 }
 
 // WireSweepPoint is one exactly evaluated split.
@@ -390,6 +405,9 @@ const (
 	// certificate: either the response carries a checked certificate or it
 	// fails loudly with this code.
 	CodeCertInvalid = "cert_invalid"
+	// CodeUnknownMechanism: the request's mechanism name is not in the
+	// registry (400). GET /v1/mechanisms lists the valid names.
+	CodeUnknownMechanism = "unknown_mechanism"
 )
 
 // ErrorResponse is the body of every non-2xx answer: a stable

@@ -1,0 +1,44 @@
+package repro
+
+import "context"
+
+// Legacy API
+//
+// The wrappers in this file preserve the pre-options call shapes from
+// before the context-first facade (PR 3) and the mechanism registry (PR 8).
+// Each is a thin delegation into the modern facade — and therefore now
+// routes through the mechanism registry's "bd" backend — returning
+// bit-identical results to both its original implementation and the
+// equivalent facade call (the 50-instance equivalence corpus in
+// facade_test.go pins this). They take no Option and always run the
+// default BD mechanism; new code should call the facade directly.
+
+// DecomposeWith decomposes g under an explicit engine.
+//
+// Deprecated: use Decompose(ctx, g, WithEngine(engine)).
+func DecomposeWith(g *Graph, engine Engine) (*Decomposition, error) {
+	return Decompose(context.Background(), g, WithEngine(engine))
+}
+
+// DecomposeParallel decomposes each connected component concurrently and
+// merges the pair sequences by α (exact; see internal/bottleneck).
+//
+// Deprecated: use Decompose(ctx, g, WithWorkers(workers)).
+func DecomposeParallel(g *Graph, workers int) (*Decomposition, error) {
+	return Decompose(context.Background(), g, WithWorkers(workers))
+}
+
+// AllocateDecomposed runs the BD Allocation Mechanism over a precomputed
+// decomposition.
+//
+// Deprecated: use Allocate(ctx, g, WithDecomposition(d)).
+func AllocateDecomposed(g *Graph, d *Decomposition) (*Allocation, error) {
+	return Allocate(context.Background(), g, WithDecomposition(d))
+}
+
+// RingRatio returns ζ_v under the optimizer's default settings.
+//
+// Deprecated: use IncentiveRatio(ctx, g, v).
+func RingRatio(g *Graph, v int) (Rat, error) {
+	return IncentiveRatio(context.Background(), g, v)
+}

@@ -1,0 +1,171 @@
+package repro_test
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestWithMechanismBDEquivalence pins the mechanism registry's default
+// routing: on the same 50-instance corpus as TestFacadeEquivalence, every
+// facade call with an explicit WithMechanism("bd") — and with the empty
+// name, which resolves to the default — returns bit-identical results to
+// the bare call. This is the api_redesign contract: introducing the
+// registry must not move a single byte of the default path.
+func TestWithMechanismBDEquivalence(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		g := randomInstance(rng, i)
+
+		base, err := repro.Decompose(ctx, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"bd", ""} {
+			d, err := repro.Decompose(ctx, g, repro.WithMechanism(name))
+			if err != nil {
+				t.Fatalf("instance %d: Decompose(%q): %v", i, name, err)
+			}
+			sameDecomposition(t, g, base, d, "WithMechanism("+name+")")
+		}
+
+		want, err := repro.Allocate(ctx, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := repro.Allocate(ctx, g, repro.WithMechanism("bd"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if !want.Utility(v).Equal(got.Utility(v)) {
+				t.Fatalf("instance %d: allocation utility differs at %d", i, v)
+			}
+			for u := 0; u < g.N(); u++ {
+				if !want.Get(v, u).Equal(got.Get(v, u)) {
+					t.Fatalf("instance %d: transfer x[%d][%d] differs", i, v, u)
+				}
+			}
+		}
+
+		if i%3 == 0 { // rings
+			v := i % g.N()
+			r1, err := repro.IncentiveRatio(ctx, g, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := repro.IncentiveRatio(ctx, g, v, repro.WithMechanism("bd"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r1.Equal(r2) {
+				t.Fatalf("instance %d: ratio differs: %v vs %v", i, r1, r2)
+			}
+			s1, err := repro.RingSweep(ctx, g, v, repro.WithGrid(12))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := repro.RingSweep(ctx, g, v, repro.WithGrid(12), repro.WithMechanism("bd"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s1.Points) != len(s2.Points) || !s1.Ratio.Equal(s2.Ratio) || !s1.BestU.Equal(s2.BestU) {
+				t.Fatalf("instance %d: sweeps diverge", i)
+			}
+			for k := range s1.Points {
+				if !s1.Points[k].W1.Equal(s2.Points[k].W1) || !s1.Points[k].U.Equal(s2.Points[k].U) {
+					t.Fatalf("instance %d: sweep point %d differs", i, k)
+				}
+			}
+		}
+	}
+}
+
+// TestMechanismRegistryFacade exercises the non-default backends end to end
+// through the facade, plus the registry's error contract.
+func TestMechanismRegistryFacade(t *testing.T) {
+	ctx := context.Background()
+
+	infos := repro.Mechanisms()
+	if len(infos) < 3 {
+		t.Fatalf("registry lists %d mechanisms, want at least bd, eqsplit, pr", len(infos))
+	}
+	for i := 1; i < len(infos); i++ {
+		if infos[i-1].Name >= infos[i].Name {
+			t.Fatalf("mechanism listing not sorted: %q before %q", infos[i-1].Name, infos[i].Name)
+		}
+	}
+	byName := map[string]repro.MechanismInfo{}
+	for _, info := range infos {
+		byName[info.Name] = info
+	}
+	if !byName["bd"].Certifiable || !byName["bd"].ExactRatio {
+		t.Fatalf("bd capabilities wrong: %+v", byName["bd"])
+	}
+	if byName["pr"].Certifiable || byName["eqsplit"].Certifiable {
+		t.Fatal("non-bd mechanisms must not claim certifiability")
+	}
+
+	g := repro.Ring(repro.Ints(3, 1, 2, 1, 5))
+
+	// Unknown names fail uniformly, naming the registry's contents.
+	if _, err := repro.Allocate(ctx, g, repro.WithMechanism("quantum")); err == nil || !strings.Contains(err.Error(), "unknown mechanism") {
+		t.Fatalf("unknown mechanism error = %v", err)
+	}
+	if _, err := repro.IncentiveRatio(ctx, g, 0, repro.WithMechanism("quantum")); err == nil {
+		t.Fatal("IncentiveRatio accepted an unknown mechanism")
+	}
+
+	for _, name := range []string{"eqsplit", "pr"} {
+		a, err := repro.Allocate(ctx, g, repro.WithMechanism(name))
+		if err != nil {
+			t.Fatalf("%s: Allocate: %v", name, err)
+		}
+		total := repro.NewRat(0, 1)
+		for v := 0; v < g.N(); v++ {
+			total = total.Add(a.Utility(v))
+		}
+		if !total.Equal(g.TotalWeight()) {
+			t.Fatalf("%s: total utility %v != total weight %v", name, total, g.TotalWeight())
+		}
+
+		ratio, err := repro.IncentiveRatio(ctx, g, 0, repro.WithMechanism(name), repro.WithGrid(8))
+		if err != nil {
+			t.Fatalf("%s: IncentiveRatio: %v", name, err)
+		}
+		if ratio.Less(repro.NewRat(1, 1)) {
+			t.Fatalf("%s: empirical ratio %v < 1", name, ratio)
+		}
+
+		res, err := repro.RingSweep(ctx, g, 0, repro.WithGrid(8), repro.WithMechanism(name))
+		if err != nil {
+			t.Fatalf("%s: RingSweep: %v", name, err)
+		}
+		if len(res.Points) != 9 {
+			t.Fatalf("%s: sweep returned %d points, want 9", name, len(res.Points))
+		}
+
+		// Certificates stay a bd capability; non-bd requests fail loudly.
+		var c repro.Certificate
+		if _, err := repro.IncentiveRatio(ctx, g, 0, repro.WithMechanism(name), repro.WithCertificate(&c)); err == nil ||
+			!strings.Contains(err.Error(), "certifiable") {
+			t.Fatalf("%s: certificate request error = %v", name, err)
+		}
+
+		// Non-decomposition backends reject decomposition plumbing.
+		d, err := repro.Decompose(ctx, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := repro.Allocate(ctx, g, repro.WithMechanism(name), repro.WithDecomposition(d)); err == nil {
+			t.Fatalf("%s: WithDecomposition accepted by a non-decomposition mechanism", name)
+		}
+		if _, err := repro.Decompose(ctx, g, repro.WithMechanism(name)); err == nil {
+			t.Fatalf("%s: Decompose accepted by a non-decomposition mechanism", name)
+		}
+	}
+}

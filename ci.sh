@@ -115,3 +115,20 @@ printf '%s\n' "$tourn_out" | grep -q 'eqsplit *ζ = 1 ' || { echo "tournament sm
 # failure or any certified ratio above the Theorem 8 bound 2; -eps 3/5
 # keeps the near-tight frontier (ratio ≥ 7/5) non-empty. ~12s.
 go run ./cmd/certenum -min-n 3 -max-n 6 -levels 3 -grid 8 -eps 3/5 -timeout 25s
+
+# Cluster: a dedicated race pass over the router's data structures (hash
+# ring, lease WAL, membership) and the certificate-verified routing path,
+# then the two cluster smokes — the 3-node kill/recover acceptance test (a
+# job's owning node hard-stopped mid-sweep, the job re-placed on a survivor
+# from the router's lease checkpoint, final result bit-identical to a
+# single-node run) and the router chaos replay (the 100-instance corpus
+# routed under fault injection at cluster.probe and cluster.lease) — plus
+# the irrouter binary's flag gating and graceful drain.
+go test -race -count=2 ./internal/cluster -run 'TestRing|TestLease|TestRouterReadyz|TestCertRejection'
+go test ./internal/cluster -run 'TestClusterKillRecoverBitIdentical|TestClusterChaosReplay' -count=1
+go test ./cmd/irrouter -count=1
+
+# Record the router's proxy overhead: the same sustained /v1/ratio load
+# driven directly against one backend and through a single-node router.
+go run ./cmd/benchjson -bench 'RatioRPS' -pkg ./internal/cluster -out BENCH_cluster.json \
+	-note "router overhead: sustained /v1/ratio RPS direct vs proxied through a single-node irrouter"

@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/server"
@@ -110,20 +111,28 @@ func (e *APIError) Error() string {
 }
 
 // Retryable reports whether the request that produced this error is worth
-// repeating: overload shedding, queue/chaos busyness, server-side timeouts,
-// and contained panics are all transient by the server's contract; input
-// errors (4xx) and plain internal errors are not.
+// repeating: overload shedding, queue/chaos busyness, gateway failures
+// (502/504 — a cluster router answering for a backend it lost), server-side
+// timeouts, and contained panics are all transient by the server's
+// contract; input errors (4xx) and plain internal errors are not.
 func (e *APIError) Retryable() bool {
 	switch e.Status {
-	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusBadGateway, http.StatusGatewayTimeout:
 		return true
 	}
 	return e.Code == server.CodeInternalPanic
 }
 
-// Client talks to one irshared base URL. It is safe for concurrent use.
+// Client talks to an irshared service — one base URL, or a list of
+// equivalent ones (replicated routers, or the cluster's nodes directly).
+// Requests stick to the current base; a node-level failure (transport
+// error, 502, 504) rotates to the next before the retry, so one dead
+// address costs one backoff instead of exhausting every attempt. It is safe
+// for concurrent use.
 type Client struct {
-	base           string
+	bases          []string
+	cur            atomic.Uint32
 	hc             *http.Client
 	maxAttempts    int
 	baseDelay      time.Duration
@@ -179,6 +188,19 @@ func WithRetryHook(f func(attempt int, err error, delay time.Duration)) Option {
 	return func(c *Client) { c.onRetry = f }
 }
 
+// WithFallbacks appends alternative base URLs tried — in order, wrapping —
+// when the current base fails at the node level: a transport error
+// (connection refused/reset, EOF) or a gateway error (502/504). Server-
+// answered backpressure (429/503) stays on the same base, since it proves
+// the node is alive and its Retry-After is about that node's queue.
+func WithFallbacks(bases ...string) Option {
+	return func(c *Client) {
+		for _, b := range bases {
+			c.bases = append(c.bases, strings.TrimRight(b, "/"))
+		}
+	}
+}
+
 // WithStallThreshold sets how many consecutive zero-progress rounds SweepAll
 // tolerates before giving up (default: the client's max attempts — the
 // historical behavior). Raise it for servers whose request timeout sits
@@ -192,9 +214,10 @@ func WithStallThreshold(n int) Option {
 }
 
 // New builds a client for the service at base (e.g. "http://127.0.0.1:8080").
+// Additional equivalent endpoints can be supplied with WithFallbacks.
 func New(base string, opts ...Option) *Client {
 	c := &Client{
-		base:        strings.TrimRight(base, "/"),
+		bases:       []string{strings.TrimRight(base, "/")},
 		hc:          http.DefaultClient,
 		maxAttempts: 5,
 		baseDelay:   100 * time.Millisecond,
@@ -205,6 +228,21 @@ func New(base string, opts ...Option) *Client {
 		o(c)
 	}
 	return c
+}
+
+// pickBase snapshots the current base URL with its rotation epoch.
+func (c *Client) pickBase() (string, uint32) {
+	epoch := c.cur.Load()
+	return c.bases[int(epoch)%len(c.bases)], epoch
+}
+
+// rotateBase advances past the base that failed at epoch. The CAS makes
+// concurrent failures on the same base advance the rotation once, not once
+// per in-flight request.
+func (c *Client) rotateBase(epoch uint32) {
+	if len(c.bases) > 1 {
+		c.cur.CompareAndSwap(epoch, epoch+1)
+	}
 }
 
 // Decompose calls POST /v1/decompose.
@@ -299,9 +337,13 @@ func (c *Client) doMethod(ctx context.Context, method, path string, in, out any)
 	}
 	var err error
 	for attempt := 1; ; attempt++ {
-		err = c.once(ctx, method, path, body, out)
+		base, epoch := c.pickBase()
+		err = c.once(ctx, method, base+path, body, out)
 		if err == nil {
 			return nil
+		}
+		if nodeFailure(err) {
+			c.rotateBase(epoch)
 		}
 		if !retryable(err) || attempt >= c.maxAttempts {
 			return err
@@ -320,13 +362,13 @@ func (c *Client) doMethod(ctx context.Context, method, path string, in, out any)
 	}
 }
 
-// once performs a single HTTP exchange.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+// once performs a single HTTP exchange against the given absolute URL.
+func (c *Client) once(ctx context.Context, method, url string, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return fmt.Errorf("client: build request: %w", err)
 	}
@@ -366,6 +408,22 @@ func retryable(err error) bool {
 	var apiErr *APIError
 	if errors.As(err, &apiErr) {
 		return apiErr.Retryable()
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// nodeFailure reports whether the error indicts the base URL itself rather
+// than the request: any transport error (connection refused/reset, EOF —
+// but not the caller's own context dying) and the gateway statuses a router
+// answers when its backend is gone. These rotate the client to its next
+// base; per-node backpressure (429/503) does not.
+func nodeFailure(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status == http.StatusBadGateway || apiErr.Status == http.StatusGatewayTimeout
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false

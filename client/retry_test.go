@@ -1,0 +1,169 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// transportErr dials a scripted server to produce a REAL error of the named
+// class — the table test below must classify what the net stack actually
+// returns, not hand-built sentinels.
+func transportErr(t *testing.T, class string) error {
+	t.Helper()
+	switch class {
+	case "connection_refused":
+		// Bind a port, release it, dial it: nobody is listening.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		c := New("http://"+addr, WithMaxAttempts(1))
+		_, err = c.Ratio(context.Background(), &RatioRequest{Graph: Graph{Ring: []string{"1", "1", "1"}}})
+		return err
+	case "connection_reset":
+		// Accept, then close with a pending RST (SetLinger 0) before reading.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.(*net.TCPConn).SetLinger(0)
+			conn.Close()
+		}()
+		c := New("http://"+ln.Addr().String(), WithMaxAttempts(1))
+		_, err = c.Ratio(context.Background(), &RatioRequest{Graph: Graph{Ring: []string{"1", "1", "1"}}})
+		return err
+	case "truncated_response":
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Length", "1000")
+			w.Write([]byte(`{"partial`)) // then the handler returns: body is cut short
+		}))
+		defer ts.Close()
+		c := New(ts.URL, WithMaxAttempts(1))
+		_, err := c.Ratio(context.Background(), &RatioRequest{Graph: Graph{Ring: []string{"1", "1", "1"}}})
+		return err
+	case "context_canceled":
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+		defer ts.Close()
+		c := New(ts.URL, WithMaxAttempts(1))
+		_, err := c.Ratio(ctx, &RatioRequest{Graph: Graph{Ring: []string{"1", "1", "1"}}})
+		return err
+	default:
+		t.Fatalf("unknown class %q", class)
+		return nil
+	}
+}
+
+// statusErr produces the APIError a server answering with the given status
+// generates.
+func statusErr(t *testing.T, status int, retryAfter string) error {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		w.WriteHeader(status)
+		fmt.Fprintf(w, `{"code":"test_code","message":"scripted"}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithMaxAttempts(1))
+	_, err := c.Ratio(context.Background(), &RatioRequest{Graph: Graph{Ring: []string{"1", "1", "1"}}})
+	return err
+}
+
+// TestRetryPredicateByErrorClass pins the retry/failover classification of
+// every transport-error and gateway-status class the cluster router can
+// surface: connection refused and 502/504 must be retryable AND rotate the
+// base list; per-node backpressure (429/503) retries without rotating; the
+// caller's own dead context and input errors do neither.
+func TestRetryPredicateByErrorClass(t *testing.T) {
+	cases := []struct {
+		name       string
+		err        func(t *testing.T) error
+		wantRetry  bool
+		wantRotate bool
+		wantAPIErr bool
+	}{
+		{"connection_refused", func(t *testing.T) error { return transportErr(t, "connection_refused") }, true, true, false},
+		{"connection_reset", func(t *testing.T) error { return transportErr(t, "connection_reset") }, true, true, false},
+		{"truncated_response", func(t *testing.T) error { return transportErr(t, "truncated_response") }, true, true, false},
+		{"context_canceled", func(t *testing.T) error { return transportErr(t, "context_canceled") }, false, false, false},
+		{"bad_gateway_502", func(t *testing.T) error { return statusErr(t, http.StatusBadGateway, "") }, true, true, true},
+		{"gateway_timeout_504", func(t *testing.T) error { return statusErr(t, http.StatusGatewayTimeout, "") }, true, true, true},
+		{"overloaded_429", func(t *testing.T) error { return statusErr(t, http.StatusTooManyRequests, "1") }, true, false, true},
+		{"busy_503", func(t *testing.T) error { return statusErr(t, http.StatusServiceUnavailable, "") }, true, false, true},
+		{"bad_request_400", func(t *testing.T) error { return statusErr(t, http.StatusBadRequest, "") }, false, false, true},
+		{"internal_500", func(t *testing.T) error { return statusErr(t, http.StatusInternalServerError, "") }, false, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.err(t)
+			if err == nil {
+				t.Fatal("scripted failure produced no error")
+			}
+			if got := retryable(err); got != tc.wantRetry {
+				t.Errorf("retryable(%v) = %v, want %v", err, got, tc.wantRetry)
+			}
+			if got := nodeFailure(err); got != tc.wantRotate {
+				t.Errorf("nodeFailure(%v) = %v, want %v", err, got, tc.wantRotate)
+			}
+			var apiErr *APIError
+			if got := errors.As(err, &apiErr); got != tc.wantAPIErr {
+				t.Errorf("errors.As APIError = %v, want %v (err: %v)", got, tc.wantAPIErr, err)
+			}
+		})
+	}
+}
+
+// TestFailoverToFallbackBase proves the base-list rotation end to end: the
+// primary endpoint is dead (connection refused), the fallback answers, and
+// one call succeeds within the retry budget instead of burning every
+// attempt on the corpse.
+func TestFailoverToFallbackBase(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	var hits atomic.Int64
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		fmt.Fprint(w, `{"ratio":"1","honest":"1","sybil_best":"1","w1":"0","w2":"0"}`)
+	}))
+	defer live.Close()
+
+	c := New(dead, WithFallbacks(live.URL), WithSeed(1),
+		WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if _, err := c.Ratio(context.Background(), &RatioRequest{Graph: Graph{Ring: []string{"1", "1", "1"}}}); err != nil {
+		t.Fatalf("failover call: %v", err)
+	}
+	if hits.Load() == 0 {
+		t.Fatal("fallback base never received the request")
+	}
+	// The rotation is sticky: the next call goes straight to the live base.
+	before := hits.Load()
+	if _, err := c.Ratio(context.Background(), &RatioRequest{Graph: Graph{Ring: []string{"1", "1", "1"}}}); err != nil {
+		t.Fatalf("second call: %v", err)
+	}
+	if hits.Load() != before+1 {
+		t.Fatalf("second call did not stick to the live base (hits %d → %d)", before, hits.Load())
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+// TestFlagValidation pins the refusal modes: missing -nodes, chaos without
+// its double opt-in, and a bad log format all fail before listening.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no_nodes", []string{"-addr", "127.0.0.1:0"}, "-nodes is required"},
+		{"chaos_without_allow", []string{"-nodes", "http://x", "-chaos", "cluster.probe=error:1"}, "-chaos requires -chaos-allow"},
+		{"allow_without_chaos", []string{"-nodes", "http://x", "-chaos-allow"}, "-chaos-allow given without -chaos"},
+		{"bad_log", []string{"-nodes", "http://x", "-log", "yaml"}, "unknown -log format"},
+		{"bad_chaos_spec", []string{"-nodes", "http://x", "-chaos", "nonsense", "-chaos-allow"}, "bad -chaos spec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRouterGracefulShutdown boots the full binary path against one real
+// in-process backend, proxies a request through it, and drains on SIGTERM.
+func TestRouterGracefulShutdown(t *testing.T) {
+	srv, err := server.New(server.Config{NodeID: "n1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	backend := httptest.NewServer(srv.Handler())
+	defer backend.Close()
+
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", addr, "-nodes", backend.URL, "-log", "json",
+			"-drain", "5s", "-probe-interval", "50ms",
+		})
+	}()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router did not come up at %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A proxied compute request must make it to the backend and back.
+	resp, err := http.Post(base+"/v1/ratio", "application/json",
+		strings.NewReader(`{"graph":{"ring":["1","2","3"]},"v":0,"grid":4}`))
+	if err != nil {
+		t.Fatalf("proxied ratio: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied ratio: status %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("router did not drain after SIGTERM")
+	}
+}

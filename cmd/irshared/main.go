@@ -65,6 +65,7 @@ func run(args []string) error {
 		chaosAllow   = fs.Bool("chaos-allow", false, "acknowledge that -chaos deliberately breaks requests; refused otherwise")
 		chaosSeed    = fs.Uint64("chaos-seed", 1, "deterministic seed for -chaos injection decisions")
 		dataDir      = fs.String("data-dir", "", "durable job store directory; enables the /v1/jobs API and crash recovery")
+		nodeID       = fs.String("node-id", "", "stable node identity reported on /healthz and /readyz (default: hostname)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +128,7 @@ func run(args []string) error {
 		MaxQueueDepth:  *maxQueue,
 		Chaos:          injector,
 		DataDir:        *dataDir,
+		NodeID:         *nodeID,
 	})
 	if err != nil {
 		return err

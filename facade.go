@@ -375,4 +375,3 @@ func RingSweep(ctx context.Context, g *Graph, v int, opts ...Option) (*SweepResu
 	}
 	return res, nil
 }
-

@@ -1,0 +1,100 @@
+// Router overhead benchmarks, recorded by ci.sh into BENCH_cluster.json:
+// the same sustained /v1/ratio load driven directly against one backend and
+// through the router in front of it. The rps delta is the cost of one
+// placement decision plus one proxied hop.
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/server"
+)
+
+func benchNode(b *testing.B) string {
+	b.Helper()
+	srv, err := server.New(server.Config{Logger: discardLogger(), MaxQueueDepth: -1, NodeID: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts.URL
+}
+
+func benchReqs() []client.RatioRequest {
+	rings := [][]string{
+		{"1", "2", "3", "4", "5"},
+		{"7/2", "1", "1/3", "9", "2", "2"},
+		{"100", "1", "1", "1", "1", "1", "1", "1"},
+		{"3", "1", "2", "1", "5"},
+	}
+	reqs := make([]client.RatioRequest, len(rings))
+	for i, ws := range rings {
+		reqs[i] = client.RatioRequest{Graph: client.Graph{Ring: ws}, V: i % len(ws), Grid: 16}
+	}
+	return reqs
+}
+
+func runRatioLoad(b *testing.B, base string) {
+	c := client.New(base,
+		client.WithMaxAttempts(8),
+		client.WithBackoff(time.Millisecond, 50*time.Millisecond),
+		client.WithSeed(7))
+	ctx := context.Background()
+	reqs := benchReqs()
+	for i := range reqs {
+		if _, err := c.Ratio(ctx, &reqs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := reqs[int(next.Add(1))%len(reqs)]
+			if _, err := c.Ratio(ctx, &req); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "rps")
+	}
+}
+
+// BenchmarkDirectRatioRPS is the baseline: the load against the backend.
+func BenchmarkDirectRatioRPS(b *testing.B) {
+	runRatioLoad(b, benchNode(b))
+}
+
+// BenchmarkRouterProxiedRatioRPS is the same load through a single-node
+// router: pure coordination overhead, no failover in the loop.
+func BenchmarkRouterProxiedRatioRPS(b *testing.B) {
+	backend := benchNode(b)
+	r, err := New(Config{
+		Nodes:         []string{backend},
+		ProbeInterval: 100 * time.Millisecond,
+		Logger:        discardLogger(),
+		TraceBuffer:   -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.Start()
+	ts := httptest.NewServer(r.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		r.Close()
+	})
+	runRatioLoad(b, ts.URL)
+}

@@ -1,0 +1,368 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// Durable job placement: POST /v1/jobs is routed like any compute request,
+// but the router additionally records a TTL lease binding the accepted job
+// to its owning node. The supervision loop renews leases by polling the
+// owner's job detail — capturing every new checkpoint point into the lease
+// — and re-places the job on a survivor, seeded with that checkpoint, when
+// the owner dies or the lease expires. Content-addressed job IDs make the
+// re-placement idempotent, and exact arithmetic makes the final result
+// bit-identical to an uninterrupted single-node run.
+
+// jobPlacementKey derives the ring key of a job submission. Sweep jobs use
+// the mechanism-scoped instance key — the same placement as the inline
+// endpoints, so a job lands where its instance cache is warm. Other kinds
+// hash their canonical (re-marshaled) submission body.
+func jobPlacementKey(req *server.JobSubmitRequest) (string, bool) {
+	switch req.Kind {
+	case "", "sweep":
+		key, err := server.PlacementKey(&req.Graph, req.Mechanism)
+		if err != nil {
+			return "", false
+		}
+		return key, true
+	default:
+		canon, err := json.Marshal(req)
+		if err != nil {
+			return "", false
+		}
+		return "jobs|" + req.Kind + "|" + string(canon), true
+	}
+}
+
+// handleJobSubmit places one durable job under a lease.
+func (r *Router) handleJobSubmit(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, 8<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_body", "unreadable request body")
+		return
+	}
+	var sub server.JobSubmitRequest
+	if err := json.Unmarshal(body, &sub); err != nil {
+		// Forward anyway: the backend produces the catalogue 400.
+		r.forward(req.Context(), w, req, "/v1/jobs", body, r.aliveSequence("/v1/jobs"), nil)
+		return
+	}
+	key, keyed := jobPlacementKey(&sub)
+	if !keyed {
+		key = "/v1/jobs"
+	}
+	ctx := req.Context()
+	seq := r.aliveSequence(key)
+	if len(seq) == 0 {
+		writeError(w, http.StatusServiceUnavailable, CodeNoBackends, "no live backend nodes")
+		return
+	}
+	if len(seq) > 2 {
+		seq = seq[:2] // single-retry hedging, like every proxied request
+	}
+	var lastErr error
+	for i, node := range seq {
+		if i > 0 {
+			r.failovers.Add(1)
+		}
+		status, hdr, respBody, err := r.exchange(ctx, node, req, "/v1/jobs", body)
+		if err != nil || status == http.StatusBadGateway || status == http.StatusGatewayTimeout {
+			if err == nil {
+				err = fmt.Errorf("cluster: node %s answered %d", node, status)
+			}
+			lastErr = err
+			continue
+		}
+		if status == http.StatusAccepted || status == http.StatusOK {
+			var jr server.JobSubmitResponse
+			if err := json.Unmarshal(respBody, &jr); err == nil && jr.Job.ID != "" && !terminalState(jr.Job.State) {
+				ls := &Lease{
+					JobID:  jr.Job.ID,
+					Node:   node,
+					Kind:   jr.Job.Kind,
+					Key:    key,
+					Expiry: time.Now().Add(r.cfg.LeaseTTL).UnixNano(),
+					Body:   json.RawMessage(body),
+				}
+				if err := r.leases.grant(ctx, ls); err != nil {
+					// The backend accepted the job but the placement is
+					// unrecorded — an unsupervised job would never fail over.
+					// Fail the request instead: resubmission dedupes to the
+					// same job ID and only the grant is retried.
+					r.log.Warn("lease grant failed", "job", jr.Job.ID, "err", err)
+					writeErrorDetail(w, http.StatusServiceUnavailable, CodeLeaseUnavailable,
+						"job accepted but lease not persisted; retry the submission", err.Error())
+					return
+				}
+				r.leaseGrants.Add(1)
+			}
+		}
+		copyHeaders(w, hdr)
+		w.WriteHeader(status)
+		w.Write(respBody)
+		return
+	}
+	writeErrorDetail(w, http.StatusBadGateway, CodeBadGateway,
+		"backend placement and failover replica both failed", fmt.Sprint(lastErr))
+}
+
+// handleJobGet proxies a job lookup to its lease owner; jobs the router
+// never placed (or whose lease is retired) are searched across the live
+// membership.
+func (r *Router) handleJobGet(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if ls, ok := r.leases.get(id); ok {
+		if r.members.alive(ls.Node) {
+			r.forward(req.Context(), w, req, "/v1/jobs/"+id, nil, []string{ls.Node}, nil)
+			return
+		}
+		// The owner is down and re-placement is pending: answer from the
+		// lease's observed checkpoint so pollers see a queued job making its
+		// way to a survivor instead of a spurious 404.
+		writeJSON(w, http.StatusOK, server.WireJob{
+			ID: ls.JobID, Kind: ls.Kind, State: "queued",
+			NextIndex: len(ls.Points), Points: ls.Points,
+		})
+		return
+	}
+	r.fanFind(w, req, id)
+}
+
+// handleJobCancel proxies a cancellation and retires the lease once the
+// backend confirms: a canceled job must not be resurrected by re-placement.
+func (r *Router) handleJobCancel(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	nodes := r.aliveSequence(id)
+	if ls, ok := r.leases.get(id); ok && r.members.alive(ls.Node) {
+		nodes = []string{ls.Node}
+	}
+	var lastErr error
+	for _, node := range nodes {
+		status, hdr, respBody, err := r.exchange(req.Context(), node, req, "/v1/jobs/"+id, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if status == http.StatusNotFound && len(nodes) > 1 {
+			continue
+		}
+		if status < http.StatusMultipleChoices || status == http.StatusConflict {
+			if err := r.leases.retire(req.Context(), id); err != nil {
+				r.log.Warn("lease retire failed", "job", id, "err", err)
+			} else {
+				r.leaseRetired.Add(1)
+			}
+		}
+		copyHeaders(w, hdr)
+		w.WriteHeader(status)
+		w.Write(respBody)
+		return
+	}
+	if lastErr != nil {
+		writeErrorDetail(w, http.StatusBadGateway, CodeBadGateway, "no backend could cancel the job", lastErr.Error())
+		return
+	}
+	writeError(w, http.StatusNotFound, "not_found", "no such job on any live node")
+}
+
+// fanFind asks every live node for the job and forwards the first non-404.
+func (r *Router) fanFind(w http.ResponseWriter, req *http.Request, id string) {
+	var lastErr error
+	for _, node := range r.aliveSequence(id) {
+		status, hdr, respBody, err := r.exchange(req.Context(), node, req, "/v1/jobs/"+id, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if status == http.StatusNotFound {
+			continue
+		}
+		copyHeaders(w, hdr)
+		w.WriteHeader(status)
+		w.Write(respBody)
+		return
+	}
+	if lastErr != nil {
+		writeErrorDetail(w, http.StatusBadGateway, CodeBadGateway, "job lookup failed on every live node", lastErr.Error())
+		return
+	}
+	writeError(w, http.StatusNotFound, "not_found", "no such job on any live node")
+}
+
+func terminalState(s string) bool {
+	return s == "done" || s == "failed" || s == "canceled"
+}
+
+// superviseLeases is one pass of the lease loop: poll every leased job's
+// owner, renew with the freshly observed checkpoint, retire finished jobs,
+// and re-place jobs whose owner is dead, gone, or silent past the TTL.
+func (r *Router) superviseLeases(ctx context.Context) {
+	for _, ls := range r.leases.all() {
+		now := time.Now()
+		job, status, err := r.pollJob(ctx, ls.Node, ls.JobID)
+		switch {
+		case err == nil && status == http.StatusOK && terminalState(job.State):
+			if rerr := r.leases.retire(ctx, ls.JobID); rerr != nil {
+				r.log.Warn("lease retire failed", "job", ls.JobID, "err", rerr)
+			} else {
+				r.leaseRetired.Add(1)
+			}
+		case err == nil && status == http.StatusOK:
+			start := len(ls.Points)
+			var delta []server.WireSweepPoint
+			if len(job.Points) > start {
+				delta = job.Points[start:]
+			}
+			if rerr := r.leases.renew(ctx, ls.JobID, now.Add(r.cfg.LeaseTTL), start, delta, job.NextIndex); rerr != nil {
+				// A failed renewal (lease fault site, write error) is only a
+				// missed heartbeat: the lease keeps its old expiry and the
+				// next pass retries. Degradation, not corruption.
+				r.log.Warn("lease renew failed", "job", ls.JobID, "err", rerr)
+			} else {
+				r.leaseRenewals.Add(1)
+			}
+		case err == nil && status == http.StatusNotFound:
+			// The owner lost the job (wiped store): re-place now.
+			r.replaceLease(ctx, ls)
+		default:
+			// Owner unreachable or answering garbage. Re-place once it is
+			// declared dead or the lease has expired — not before, so a
+			// single slow poll doesn't double-run a healthy job.
+			if !r.members.alive(ls.Node) || now.UnixNano() > ls.Expiry {
+				r.replaceLease(ctx, ls)
+			}
+		}
+	}
+}
+
+// pollJob fetches one job's detail view from a node.
+func (r *Router) pollJob(ctx context.Context, node, id string) (*server.WireJob, int, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.ProbeTimeout)
+	defer cancel()
+	ctx, sp := obs.Start(ctx, "router.lease_poll")
+	sp.SetAttr("node", node)
+	defer sp.End()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode, nil
+	}
+	var job server.WireJob
+	if err := json.Unmarshal(raw, &job); err != nil {
+		return nil, 0, fmt.Errorf("cluster: job detail from %s: %w", node, err)
+	}
+	return &job, resp.StatusCode, nil
+}
+
+// replaceLease re-places a lost job on a survivor, seeding the submission
+// with the lease's observed checkpoint so the new owner resumes instead of
+// restarting. The original body is replayed — content addressing gives the
+// identical job ID — with only the Checkpoint field added.
+func (r *Router) replaceLease(ctx context.Context, ls Lease) {
+	var survivors []string
+	for _, n := range r.aliveSequence(ls.Key) {
+		if n != ls.Node {
+			survivors = append(survivors, n)
+		}
+	}
+	if len(survivors) == 0 {
+		// The old owner may be the only live node (e.g. its store was wiped
+		// but the process lives): resubmitting there is still correct.
+		if r.members.alive(ls.Node) {
+			survivors = []string{ls.Node}
+		} else {
+			r.log.Warn("no survivor for lease; will retry", "job", ls.JobID)
+			return
+		}
+	}
+	var sub server.JobSubmitRequest
+	if err := json.Unmarshal(ls.Body, &sub); err != nil {
+		r.log.Error("lease body undecodable; dropping lease", "job", ls.JobID, "err", err)
+		if rerr := r.leases.retire(ctx, ls.JobID); rerr != nil {
+			r.log.Warn("lease retire failed", "job", ls.JobID, "err", rerr)
+		}
+		return
+	}
+	sub.Checkpoint = &server.JobCheckpoint{NextIndex: len(ls.Points), Points: ls.Points}
+	body, err := json.Marshal(&sub)
+	if err != nil {
+		r.log.Error("lease re-placement encode failed", "job", ls.JobID, "err", err)
+		return
+	}
+	node := survivors[0]
+	status, _, respBody, err := r.postJSON(ctx, node, "/v1/jobs", body)
+	if err != nil || (status != http.StatusAccepted && status != http.StatusOK) {
+		r.log.Warn("lease re-placement failed; will retry", "job", ls.JobID, "node", node,
+			"status", status, "err", err)
+		return
+	}
+	var jr server.JobSubmitResponse
+	if err := json.Unmarshal(respBody, &jr); err != nil || jr.Job.ID == "" {
+		r.log.Warn("lease re-placement answer undecodable; will retry", "job", ls.JobID, "node", node)
+		return
+	}
+	if terminalState(jr.Job.State) {
+		// The survivor already has the finished job (it ran there before).
+		if rerr := r.leases.retire(ctx, ls.JobID); rerr == nil {
+			r.leaseRetired.Add(1)
+		}
+		return
+	}
+	nls := &Lease{
+		JobID:     jr.Job.ID,
+		Node:      node,
+		Kind:      ls.Kind,
+		Key:       ls.Key,
+		Expiry:    time.Now().Add(r.cfg.LeaseTTL).UnixNano(),
+		Body:      ls.Body,
+		NextIndex: len(ls.Points),
+		Points:    ls.Points,
+	}
+	if err := r.leases.grant(ctx, nls); err != nil {
+		r.log.Warn("re-placement lease grant failed; will retry", "job", ls.JobID, "err", err)
+		return
+	}
+	r.leaseReplaced.Add(1)
+	r.log.Info("job re-placed", "job", ls.JobID, "from", ls.Node, "to", node,
+		"resume_from", len(ls.Points))
+}
+
+// postJSON performs one bare POST (no statusWriter plumbing) for the lease
+// loop.
+func (r *Router) postJSON(ctx context.Context, node, path string, body []byte) (int, http.Header, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, raw, nil
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingSequenceCoversAllNodes: every key's failover sequence visits each
+// member exactly once, starting at its primary placement.
+func TestRingSequenceCoversAllNodes(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := newRing(nodes, 64)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("instance-%d", i)
+		seq := r.sequence(key)
+		if len(seq) != len(nodes) {
+			t.Fatalf("sequence(%q) has %d nodes, want %d: %v", key, len(seq), len(nodes), seq)
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("sequence(%q) repeats %q: %v", key, n, seq)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingOrderIndependence: the seed list's order must not matter — every
+// router over the same members has to agree on placement, or two routers in
+// front of one cluster would send the same instance to different nodes.
+func TestRingOrderIndependence(t *testing.T) {
+	a := newRing([]string{"http://a", "http://b", "http://c"}, 64)
+	b := newRing([]string{"http://c", "http://a", "http://b"}, 64)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if !reflect.DeepEqual(a.sequence(key), b.sequence(key)) {
+			t.Fatalf("sequence(%q) depends on seed order: %v vs %v",
+				key, a.sequence(key), b.sequence(key))
+		}
+	}
+}
+
+// TestRingSpreadsPrimaries: with 64 vnodes per member, primary placement
+// over a modest key population must reach every node — a node that never
+// owns a key would make the ring a very expensive single-node proxy.
+func TestRingSpreadsPrimaries(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c"}
+	r := newRing(nodes, 64)
+	primaries := map[string]int{}
+	const keys = 300
+	for i := 0; i < keys; i++ {
+		primaries[r.sequence(fmt.Sprintf("key-%d", i))[0]]++
+	}
+	for _, n := range nodes {
+		if primaries[n] == 0 {
+			t.Fatalf("node %q is never a primary over %d keys: %v", n, keys, primaries)
+		}
+	}
+}
+
+// TestRingStableUnderMembershipFilter pins the design choice that aliveness
+// filters selection, not placement: dropping a node from consideration
+// leaves the relative order of the survivors untouched, so keys owned by
+// live nodes never move when some other node flaps.
+func TestRingStableUnderMembershipFilter(t *testing.T) {
+	r := newRing([]string{"http://a", "http://b", "http://c"}, 64)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		seq := r.sequence(key)
+		dead := seq[2] // kill the last replica
+		var filtered []string
+		for _, n := range seq {
+			if n != dead {
+				filtered = append(filtered, n)
+			}
+		}
+		if !reflect.DeepEqual(filtered, seq[:2]) {
+			t.Fatalf("filtering %q reshuffled survivors for %q: %v vs %v", dead, key, filtered, seq[:2])
+		}
+	}
+}

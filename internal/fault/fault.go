@@ -58,6 +58,15 @@ const (
 	// SiteJobsRecover fires once per job considered during startup recovery
 	// of the durable job store; an injected error aborts the boot loudly.
 	SiteJobsRecover = "jobs.recover"
+	// SiteClusterProbe fires once per health probe the cluster router sends
+	// to a backend. An injected error looks exactly like a failed probe, so
+	// chaos rules here drive nodes through the dead→alive membership cycle.
+	SiteClusterProbe = "cluster.probe"
+	// SiteClusterLease fires once per lease-log append in the cluster
+	// router (grants, renewals, retirements). An injected error surfaces as
+	// a failed lease write; the router must degrade without corrupting its
+	// lease table.
+	SiteClusterLease = "cluster.lease"
 )
 
 // Sites returns the registered site names, sorted.
@@ -71,6 +80,8 @@ func Sites() []string {
 		SiteServerBatch,
 		SiteJobsWAL,
 		SiteJobsRecover,
+		SiteClusterProbe,
+		SiteClusterLease,
 	}
 	sort.Strings(s)
 	return s

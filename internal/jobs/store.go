@@ -251,6 +251,12 @@ type Submission struct {
 	Spec []byte
 	// Priority orders the scheduler queue (higher first).
 	Priority int
+	// Seed is a checkpointed prefix carried over from another process —
+	// the cluster router re-places a job on a surviving node with the last
+	// checkpoint it observed, so the new node resumes instead of restarting.
+	// Applied only when the submission creates (or restarts) the job; a
+	// dedupe to a live or done job keeps that job's own progress.
+	Seed []Point
 }
 
 // Submit creates (or dedupes to) the job for sub.Key. The returned enqueue
@@ -283,7 +289,7 @@ func (st *Store) Submit(ctx context.Context, sub Submission) (*Record, bool, err
 		next.FinishedUnixNano = 0
 		next.CancelRequested = false
 		next.Priority = sub.Priority
-		if err := st.appendLocked(ctx, &walEntry{Op: "job", Job: next.walForm()}, true); err != nil {
+		if err := st.submitLocked(ctx, next, sub.Seed); err != nil {
 			return nil, false, err
 		}
 		st.replaceLocked(next)
@@ -303,7 +309,7 @@ func (st *Store) Submit(ctx context.Context, sub Submission) (*Record, bool, err
 		State:           StateQueued,
 		CreatedUnixNano: now,
 	}
-	if err := st.appendLocked(ctx, &walEntry{Op: "job", Job: rec.walForm()}, true); err != nil {
+	if err := st.submitLocked(ctx, rec, sub.Seed); err != nil {
 		return nil, false, err
 	}
 	st.nextSeq++
@@ -313,6 +319,25 @@ func (st *Store) Submit(ctx context.Context, sub Submission) (*Record, bool, err
 		return nil, false, err
 	}
 	return rec.clone(), true, nil
+}
+
+// submitLocked persists a queued record, optionally seeded with a
+// checkpointed prefix carried over from another process. The record and its
+// seed delta land in the same fsync (the sync on the last frame covers the
+// whole file), so an acknowledged seeded submission survives a crash with
+// its prefix intact — replay applies the job record first, then the points
+// delta, restoring NextIndex = len(Seed).
+func (st *Store) submitLocked(ctx context.Context, rec *Record, seed []Point) error {
+	if len(seed) > 0 {
+		rec.Points = make([]Point, len(seed))
+		copy(rec.Points, seed)
+		rec.NextIndex = len(seed)
+		if err := st.appendLocked(ctx, &walEntry{Op: "job", Job: rec.walForm()}, false); err != nil {
+			return err
+		}
+		return st.appendLocked(ctx, &walEntry{Op: "points", ID: rec.ID, Start: 0, Points: rec.Points}, true)
+	}
+	return st.appendLocked(ctx, &walEntry{Op: "job", Job: rec.walForm()}, true)
 }
 
 // walForm returns the record as logged: everything but the points, which

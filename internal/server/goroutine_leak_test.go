@@ -1,0 +1,83 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/server"
+)
+
+// TestNoGoroutineLeakOnCloseUnderJobLoad races srv.Close against a burst of
+// concurrent job submissions and in-flight polls — the cluster router does
+// exactly this to a backend it is failing away from — and requires the
+// goroutine count to return to (about) the pre-boot baseline. A scheduler
+// worker, sweep pool, or jobs-WAL goroutine that outlives Close would
+// accumulate across the router's kill/recover cycles.
+func TestNoGoroutineLeakOnCloseUnderJobLoad(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	for round := 0; round < 3; round++ {
+		srv, err := server.New(server.Config{
+			DataDir: t.TempDir(),
+			NodeID:  "leaktest",
+			Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		c := client.New(ts.URL, client.WithMaxAttempts(2),
+			client.WithBackoff(time.Millisecond, 4*time.Millisecond))
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+
+		// Submissions, polls, and the server's shutdown all race: errors are
+		// expected once Close wins (refused connections, 503s) — only hangs
+		// and leaks are bugs.
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ring := client.Graph{Ring: []string{"1", "3/2", "2", fmt.Sprintf("%d", 3+i)}}
+				sub, err := c.SubmitSweep(ctx, &client.JobSubmitRequest{
+					Graph: ring, V: i % 4, Grid: 256,
+				})
+				if err != nil {
+					return
+				}
+				c.GetJob(ctx, sub.Job.ID)
+			}(i)
+		}
+		// Let some submissions land and some jobs start running, then tear
+		// the server down underneath the rest.
+		time.Sleep(time.Duration(5+10*round) * time.Millisecond)
+		ts.CloseClientConnections()
+		ts.Close()
+		if err := srv.Close(); err != nil {
+			t.Fatalf("round %d: close: %v", round, err)
+		}
+		wg.Wait()
+		cancel()
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -42,6 +42,33 @@ func enumJobKey(spec enumJobSpec) string {
 		spec.MinN, spec.MaxN, spec.Levels, spec.Grid, spec.Eps)
 }
 
+// seedPoints validates a submission checkpoint against the job's point
+// count and converts it to the store's seed form. A nil checkpoint is a
+// plain submission. The content of the points is deliberately not
+// re-verified here — the seed's provenance is a checkpoint the source node
+// already persisted, and the runner re-parses every point on execution, so
+// a corrupt seed fails the job loudly instead of poisoning the result.
+func seedPoints(w http.ResponseWriter, ck *JobCheckpoint, total int) ([]jobs.Point, bool) {
+	if ck == nil {
+		return nil, true
+	}
+	if ck.NextIndex != len(ck.Points) {
+		writeError(w, http.StatusBadRequest, CodeBadBody,
+			fmt.Sprintf("checkpoint next_index %d must equal len(points) %d", ck.NextIndex, len(ck.Points)))
+		return nil, false
+	}
+	if len(ck.Points) > total {
+		writeError(w, http.StatusBadRequest, CodeBadBody,
+			fmt.Sprintf("checkpoint carries %d points but the job has only %d", len(ck.Points), total))
+		return nil, false
+	}
+	pts := make([]jobs.Point, len(ck.Points))
+	for i, p := range ck.Points {
+		pts[i] = jobs.Point{W1: p.W1, U: p.U}
+	}
+	return pts, true
+}
+
 // handleJobSubmit is POST /v1/jobs: validate exactly like the corresponding
 // inline endpoint, then hand the work to the durable scheduler instead of
 // computing inline. The submission is fsync'd before the response: an
@@ -99,6 +126,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if m.Name() != mechanism.Default {
 		mechName = m.Name()
 	}
+	seed, ok := seedPoints(w, req.Checkpoint, grid+1)
+	if !ok {
+		return
+	}
 	spec, err := json.Marshal(sweepJobSpec{Graph: req.Graph, V: req.V, Grid: grid, Mechanism: mechName})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
@@ -109,6 +140,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		Kind:     "sweep",
 		Spec:     spec,
 		Priority: req.Priority,
+		Seed:     seed,
 	})
 	if err != nil {
 		writeComputeError(w, r, err)
@@ -170,6 +202,10 @@ func (s *Server) submitEnumJob(w http.ResponseWriter, r *http.Request, req *JobS
 		Eps:    EncodeRat(eps),
 		Total:  len(specs),
 	}
+	seed, ok := seedPoints(w, req.Checkpoint, spec.Total)
+	if !ok {
+		return
+	}
 	raw, err := json.Marshal(spec)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
@@ -180,6 +216,7 @@ func (s *Server) submitEnumJob(w http.ResponseWriter, r *http.Request, req *JobS
 		Kind:     "enumerate",
 		Spec:     raw,
 		Priority: req.Priority,
+		Seed:     seed,
 	})
 	if err != nil {
 		writeComputeError(w, r, err)

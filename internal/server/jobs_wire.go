@@ -28,6 +28,21 @@ type JobSubmitRequest struct {
 	Priority   int                `json:"priority,omitempty"`
 	Enum       *EnumJobRequest    `json:"enum,omitempty"`
 	Tournament *TournamentRequest `json:"tournament,omitempty"`
+	Checkpoint *JobCheckpoint     `json:"checkpoint,omitempty"`
+}
+
+// JobCheckpoint seeds a submission with progress already computed
+// elsewhere: the cluster router re-places a job from a dead node onto a
+// survivor with the last checkpoint it observed, so the new node resumes at
+// NextIndex instead of restarting from zero. Points are the completed
+// prefix (indices [0, NextIndex)) in the kind's checkpoint encoding, and
+// NextIndex must equal len(Points). The seed only applies when the
+// submission creates or restarts the job — deduping to a live or finished
+// job keeps that job's own progress, which is never behind the router's
+// observation of it.
+type JobCheckpoint struct {
+	NextIndex int              `json:"next_index"`
+	Points    []WireSweepPoint `json:"points"`
 }
 
 // EnumJobRequest parameterizes a kind "enumerate" job: certify every

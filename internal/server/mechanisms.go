@@ -52,6 +52,24 @@ func mechKey(g *graph.Graph, m mechanism.Mechanism) string {
 	return key
 }
 
+// PlacementKey derives the mechanism-scoped canonical instance key of a
+// wire graph — the exact string the server uses for cache entries, batch
+// joins, resume tokens, and job dedup addresses. Cluster routers hash it to
+// pick a backend, so a given instance always lands where its cache and jobs
+// already live. Name "" selects the default mechanism, mirroring the wire
+// field.
+func PlacementKey(wg *WireGraph, name string) (string, error) {
+	g, err := wg.Build()
+	if err != nil {
+		return "", err
+	}
+	m, err := mechanism.Get(name)
+	if err != nil {
+		return "", err
+	}
+	return mechKey(g, m), nil
+}
+
 // entryForMech is entryForWire with a mechanism-scoped cache key.
 func (s *Server) entryForMech(w http.ResponseWriter, r *http.Request, wg *WireGraph, m mechanism.Mechanism) (*cacheEntry, bool) {
 	return s.entryForKeyed(w, r, wg, func(g *graph.Graph) string { return mechKey(g, m) })
@@ -283,6 +301,10 @@ func (s *Server) submitTournamentJob(w http.ResponseWriter, r *http.Request, req
 		spec.Instances[i] = inst
 		vs[i] = inst.V
 	}
+	seed, ok := seedPoints(w, req.Checkpoint, spec.Total)
+	if !ok {
+		return
+	}
 	raw, err := json.Marshal(spec)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
@@ -293,6 +315,7 @@ func (s *Server) submitTournamentJob(w http.ResponseWriter, r *http.Request, req
 		Kind:     "tournament",
 		Spec:     raw,
 		Priority: req.Priority,
+		Seed:     seed,
 	})
 	if err != nil {
 		writeComputeError(w, r, err)

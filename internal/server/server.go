@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -65,6 +66,16 @@ type Config struct {
 	// startup are recovered and resumed from their last checkpoint. Empty —
 	// the default — disables the jobs API (501 jobs_disabled).
 	DataDir string
+	// NodeID identifies this process to cluster routers: /healthz and
+	// /readyz echo it, so a probe can detect a backend that was replaced
+	// behind the same address. Default: the hostname ("irshared" when even
+	// that is unavailable).
+	NodeID string
+	// OnJobCheckpoint, when set, is invoked after every durably persisted
+	// job checkpoint with the job ID and the next index to execute. Cluster
+	// routers use it (via daemon plumbing) as the lease-renewal heartbeat.
+	// It runs on the job's worker goroutine — keep it fast and non-blocking.
+	OnJobCheckpoint func(id string, nextIndex int)
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +114,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxQueueDepth < 0 {
 		c.MaxQueueDepth = 0 // shedding disabled
+	}
+	if c.NodeID == "" {
+		if host, err := os.Hostname(); err == nil && host != "" {
+			c.NodeID = host
+		} else {
+			c.NodeID = "irshared"
+		}
 	}
 	return c
 }
@@ -169,11 +187,12 @@ func New(cfg Config) (*Server, error) {
 		// jobs.wal.append and jobs.recover sites fire there.
 		base := fault.ContextWith(context.Background(), cfg.Chaos)
 		sched, err := jobs.NewScheduler(jobs.SchedulerConfig{
-			Store:  store,
-			Pool:   s.pool,
-			Run:    s.runJob,
-			Base:   base,
-			Logger: cfg.Logger,
+			Store:        store,
+			Pool:         s.pool,
+			Run:          s.runJob,
+			Base:         base,
+			Logger:       cfg.Logger,
+			OnCheckpoint: cfg.OnJobCheckpoint,
 		})
 		if err != nil {
 			store.Close()
@@ -406,23 +425,55 @@ func (s *Server) computeBase() (context.Context, context.CancelFunc) {
 	return fault.ContextWith(ctx, s.cfg.Chaos), cancel
 }
 
+// HealthzResponse is the body of GET /healthz. NodeID lets a cluster
+// router detect a backend process swapped behind a reused address.
+type HealthzResponse struct {
+	Status string `json:"status"`
+	NodeID string `json:"node_id"`
+}
+
+// ReadyzResponse is the body of GET /readyz when the node is ready.
+// QueueDepth counts work waiting for a worker slot — queued compute
+// requests plus queued durable jobs — which routers use to steer placement;
+// Waiting is the pre-cluster spelling of the compute wait count, kept so
+// existing probes don't break.
+type ReadyzResponse struct {
+	Status     string `json:"status"`
+	NodeID     string `json:"node_id"`
+	QueueDepth int    `json:"queue_depth"`
+	Waiting    string `json:"waiting"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, HealthzResponse{Status: "ok", NodeID: s.cfg.NodeID})
+}
+
+// queueDepth is the total backlog behind the worker pool: requests waiting
+// for a slot plus durable jobs queued but not yet running.
+func (s *Server) queueDepth() int {
+	depth := s.pool.Waiting()
+	if s.jobSched != nil {
+		depth += s.jobSched.Stats().QueueDepth
+	}
+	return depth
 }
 
 // handleReadyz is the readiness probe: liveness (/healthz) says the process
 // runs; readiness says it can take more compute work. When the wait queue
 // is saturated it answers 429 with Retry-After so load balancers and
-// clients back off before burning the queue timeout.
+// clients back off before burning the queue timeout. The body carries the
+// stable node ID and current queue depth for cluster routers.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.saturated() {
 		retryAfter(w, time.Second)
 		writeError(w, http.StatusTooManyRequests, CodeOverloaded, "not ready: pool wait queue is saturated")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{
-		"status":  "ready",
-		"waiting": strconv.Itoa(s.pool.Waiting()),
+	writeJSON(w, http.StatusOK, ReadyzResponse{
+		Status:     "ready",
+		NodeID:     s.cfg.NodeID,
+		QueueDepth: s.queueDepth(),
+		Waiting:    strconv.Itoa(s.pool.Waiting()),
 	})
 }
 

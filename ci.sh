@@ -72,6 +72,28 @@ go test ./cmd/irshared -run 'TestChaos' -count=1
 go test -race -count=2 ./internal/jobs
 go test ./cmd/irshared -run 'TestKillAndRecover' -count=1
 
+# Strategic-manipulation scenarios: a dedicated -count=2 race pass over the
+# scenario engines (the odometer enumerator, the coalition fold, and the
+# topology generators are driven concurrently by the job scheduler in the
+# full-suite pass), the scenario crash-recovery smoke (a ksybil job
+# SIGKILLed mid-grid must recover from its WAL checkpoint bit-identically),
+# then a small-scan smoke through the CLI. The k=3 Sybil scan on the
+# tournament ring must keep reproducing the pinned exact ratio — its best
+# split carries a zero digit, so it degenerates to the k=2 optimum and the
+# value matches the tournament smoke's bd line.
+go test -race -count=2 ./internal/scenario
+go test ./cmd/irshared -run 'TestScenarioKillAndRecover' -count=1
+scen_out="$(go run ./cmd/irshare scenario -kind ksybil -ring 3,1,2,1,5 -v 0 -k 3 -grid 12)"
+printf '%s\n' "$scen_out"
+printf '%s\n' "$scen_out" | grep -q 'ζ = 3965/3689' || { echo "scenario smoke: k=3 sybil ratio drifted"; exit 1; }
+go run ./cmd/irshare scenario -kind topology -families ring,tree,er -count 1 -n 5 -grid 3 -seed 7 \
+	| grep -q 'topology scan: 3 instances' || { echo "scenario smoke: topology scan failed"; exit 1; }
+
+# Refresh the scenario engine throughput numbers (points/s is the custom
+# metric reported by the grid-scan benchmarks).
+go run ./cmd/benchjson -bench 'KSybil' -pkg ./internal/scenario -out BENCH_scenarios.json \
+	-note "scenario engine throughput: BenchmarkKSybilK3 — k=3 identity Sybil grid scan on an 8-ring (grid 16, 153 admissible points per scan), exact rational BD per point; points/s is grid points evaluated per second"
+
 # Refresh the recorded disabled-vs-enabled tracing overhead numbers.
 go run ./cmd/benchjson -bench 'Obs' -pkg ./internal/obs -out BENCH_obs.json \
 	-note "disabled-vs-enabled recorder overhead: primitives (Start/AddInt/End) and end-to-end DecomposeCtx on a 64-ring"
@@ -97,6 +119,7 @@ go test ./internal/graph -run '^$' -fuzz '^FuzzParseGraph$' -fuzztime 10s
 go test ./internal/server -run '^$' -fuzz '^FuzzRatDecode$' -fuzztime 10s
 go test ./internal/server -run '^$' -fuzz '^FuzzMechanismField$' -fuzztime 10s
 go test ./internal/cert -run '^$' -fuzz '^FuzzCertRoundTrip$' -fuzztime 10s
+go test ./internal/server -run '^$' -fuzz '^FuzzScenarioRequest$' -fuzztime 10s
 
 # Cross-mechanism tournament smoke: every registered mechanism evaluated
 # on a fixed ring through the same path the /v1/tournament endpoint uses.

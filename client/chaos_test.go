@@ -35,6 +35,7 @@ func chaosRules() []fault.Rule {
 		{Site: fault.SiteMaxflowPush, Kind: fault.KindError, Every: 400, Limit: 10},
 		{Site: fault.SiteSweepPoint, Kind: fault.KindError, Every: 11, Limit: 15},
 		{Site: fault.SiteSweepPoint, Kind: fault.KindPanic, Every: 131, Limit: 4},
+		{Site: fault.SiteScenarioPoint, Kind: fault.KindError, Every: 13, Limit: 10},
 		{Site: fault.SiteJobsWAL, Kind: fault.KindError, Every: 4, Limit: 6},
 		{Site: fault.SiteJobsRecover, Kind: fault.KindError, Every: 1, Limit: 2},
 		{Site: "*", Kind: fault.KindLatency, Every: 100, Latency: 100 * time.Microsecond, Limit: 100},
@@ -242,6 +243,21 @@ func TestChaosReplayConvergesBitIdentical(t *testing.T) {
 		}
 		if !reflect.DeepEqual(gotS, wantS) {
 			t.Fatalf("instance %d: sweep diverged under chaos:\ngot:  %+v\nwant: %+v", i, gotS, wantS)
+		}
+
+		// A k-identity scenario scan keeps the scenario.point site in the
+		// replay on every ring instance.
+		screq := &ScenarioRequest{Kind: "ksybil", Graph: wg, V: v, K: 3, Grid: 4}
+		wantSc, err := cc.Scenario(ctx, screq)
+		if err != nil {
+			t.Fatalf("instance %d: clean scenario: %v", i, err)
+		}
+		gotSc, err := fc.Scenario(ctx, screq)
+		if err != nil {
+			t.Fatalf("instance %d: chaos scenario did not converge: %v", i, err)
+		}
+		if !reflect.DeepEqual(gotSc, wantSc) {
+			t.Fatalf("instance %d: scenario diverged under chaos:\ngot:  %+v\nwant: %+v", i, gotSc, wantSc)
 		}
 	}
 

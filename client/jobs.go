@@ -28,9 +28,11 @@ func JobTerminal(state string) bool {
 	return state == JobDone || state == JobFailed || state == JobCanceled
 }
 
-// SubmitJob enqueues a durable job of any kind — "sweep" (the default) or
-// "enumerate" (exhaustive small-n certification, parameterized by
-// req.Enum). Submission is content-addressed: resubmitting an equivalent
+// SubmitJob enqueues a durable job of any kind — "sweep" (the default),
+// "enumerate" (exhaustive small-n certification, parameterized by req.Enum),
+// "tournament" (req.Tournament), or the scenario kinds "ksybil",
+// "coalition", and "topology" (req.Scenario; see SubmitScenario).
+// Submission is content-addressed: resubmitting an equivalent
 // request returns the existing job with Deduped set instead of new work, so
 // retrying a submission whose response was lost is safe.
 func (c *Client) SubmitJob(ctx context.Context, req *JobSubmitRequest) (*JobSubmitResponse, error) {
@@ -75,6 +77,7 @@ type JobListQuery struct {
 	Cursor uint64 // resume from a previous page's NextCursor
 	Limit  int    // page size (server default when 0)
 	State  string // filter to one state ("" = all)
+	Kind   string // filter to one job kind ("" = all)
 }
 
 // ListJobs fetches one page of jobs in submission order. Walk pages by
@@ -89,6 +92,9 @@ func (c *Client) ListJobs(ctx context.Context, q JobListQuery) (*JobListResponse
 	}
 	if q.State != "" {
 		v.Set("state", q.State)
+	}
+	if q.Kind != "" {
+		v.Set("kind", q.Kind)
 	}
 	path := "/v1/jobs"
 	if enc := v.Encode(); enc != "" {

@@ -1,0 +1,70 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/server"
+)
+
+// Scenario wire types, shared with the server package via aliases like the
+// rest of the API surface.
+type (
+	// ScenarioRequest is the body of POST /v1/scenario and, nested under
+	// JobSubmitRequest.Scenario, the parameterization of the durable job
+	// kinds "ksybil", "coalition", and "topology".
+	ScenarioRequest = server.ScenarioRequest
+	// ScenarioResponse is the answer of /v1/scenario: exactly one of the
+	// KSybil, Coalition, or Topology payloads is set, matching Kind.
+	ScenarioResponse = server.ScenarioResponse
+	// ScenarioKSybilResult is the payload of a kind "ksybil" scenario.
+	ScenarioKSybilResult = server.ScenarioKSybilResult
+	// ScenarioCoalitionResult is the payload of a kind "coalition" scenario.
+	ScenarioCoalitionResult = server.ScenarioCoalitionResult
+	// ScenarioTopologyResult is the payload of a kind "topology" scenario.
+	ScenarioTopologyResult = server.ScenarioTopologyResult
+)
+
+// Scenario calls POST /v1/scenario: a strategic-manipulation scan (k-identity
+// Sybil, coalition misreporting, or a graph-family topology scan) computed
+// inline. For large grids, submit the same request as a durable job with
+// SubmitScenario instead.
+func (c *Client) Scenario(ctx context.Context, req *ScenarioRequest) (*ScenarioResponse, error) {
+	var resp ScenarioResponse
+	if err := c.do(ctx, "/v1/scenario", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SubmitScenario enqueues req as a durable job of its own kind. Submission
+// is content-addressed like every other job kind; the finished job's Result
+// is bit-identical to the inline /v1/scenario answer and decodes with
+// ScenarioResult.
+func (c *Client) SubmitScenario(ctx context.Context, req *ScenarioRequest) (*JobSubmitResponse, error) {
+	return c.SubmitJob(ctx, &JobSubmitRequest{Kind: req.Kind, Scenario: req})
+}
+
+// ScenarioResult decodes the final result of a finished scenario job. It
+// rejects jobs that are not done yet and jobs of non-scenario kinds, so a
+// caller iterating a mixed job list can feed it only what it claims to
+// handle.
+func ScenarioResult(job *Job) (*ScenarioResponse, error) {
+	if job == nil {
+		return nil, fmt.Errorf("client: scenario result of nil job")
+	}
+	switch job.Kind {
+	case "ksybil", "coalition", "topology":
+	default:
+		return nil, fmt.Errorf("client: job %s has kind %q, not a scenario kind", job.ID, job.Kind)
+	}
+	if job.State != JobDone {
+		return nil, fmt.Errorf("client: job %s is %s, not done", job.ID, job.State)
+	}
+	var resp ScenarioResponse
+	if err := json.Unmarshal(job.Result, &resp); err != nil {
+		return nil, fmt.Errorf("client: decode scenario result of job %s: %w", job.ID, err)
+	}
+	return &resp, nil
+}

@@ -1,0 +1,119 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/server"
+)
+
+// TestScenarioClientLifecycle drives the scenario surface end to end:
+// inline scan, durable submission of the same request, result decoding via
+// ScenarioResult bit-identical to the inline answer, and the kind filter on
+// the job list.
+func TestScenarioClientLifecycle(t *testing.T) {
+	ts := newService(t, server.Config{MaxQueueDepth: -1, DataDir: t.TempDir()})
+	c := New(ts.URL, fastBackoff(), WithSeed(1))
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	req := &ScenarioRequest{
+		Kind:  "ksybil",
+		Graph: Graph{Ring: []string{"128", "2", "128", "128", "512", "4", "32"}},
+		V:     4, K: 3, Grid: 6,
+	}
+	inline, err := c.Scenario(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inline.Kind != "ksybil" || inline.KSybil == nil || inline.KSybil.Total != 28 {
+		t.Fatalf("inline scan: %+v", inline)
+	}
+
+	sub, err := c.SubmitScenario(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Deduped || sub.Job.Kind != "ksybil" || sub.Job.TotalPoints != 28 {
+		t.Fatalf("submission: %+v", sub)
+	}
+	job, err := c.WaitJob(ctx, sub.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJob, err := ScenarioResult(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(inline)
+	got, _ := json.Marshal(fromJob)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("job result diverged from inline scan:\njob:    %s\ninline: %s", got, want)
+	}
+
+	// The kind filter narrows a mixed list to the scenario job.
+	if _, err := c.SubmitSweep(ctx, &JobSubmitRequest{Graph: Graph{Ring: []string{"1", "2", "3"}}, V: 0, Grid: 4}); err != nil {
+		t.Fatal(err)
+	}
+	page, err := c.ListJobs(ctx, JobListQuery{Kind: "ksybil"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Jobs) != 1 || page.Jobs[0].ID != sub.Job.ID || page.Jobs[0].Kind != "ksybil" {
+		t.Fatalf("kind filter answered %+v", page.Jobs)
+	}
+}
+
+// TestScenarioClientTopologyCert runs a cert-opted topology scan and checks
+// the attached BD ring certificate locally — the client need not trust the
+// server's ratio claim.
+func TestScenarioClientTopologyCert(t *testing.T) {
+	ts := newService(t, server.Config{})
+	c := New(ts.URL, fastBackoff(), WithSeed(1))
+	resp, err := c.Scenario(context.Background(), &ScenarioRequest{
+		Kind: "topology", Families: []string{"ring"}, Count: 2, N: 5, Grid: 4, Seed: 3, Cert: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := resp.Topology
+	if topo == nil || topo.Certificate == nil {
+		t.Fatalf("no certificate: %+v", resp)
+	}
+	if err := cert.Check(topo.Certificate); err != nil {
+		t.Fatalf("certificate check: %v", err)
+	}
+}
+
+// TestScenarioResultErrors pins the decoder's refusals: nil jobs, wrong
+// kinds, and unfinished jobs.
+func TestScenarioResultErrors(t *testing.T) {
+	if _, err := ScenarioResult(nil); err == nil {
+		t.Fatal("nil job accepted")
+	}
+	if _, err := ScenarioResult(&Job{ID: "j1", Kind: "sweep", State: JobDone}); err == nil {
+		t.Fatal("sweep job accepted")
+	}
+	if _, err := ScenarioResult(&Job{ID: "j1", Kind: "coalition", State: JobRunning}); err == nil {
+		t.Fatal("running job accepted")
+	}
+}
+
+// TestScenarioClientValidation maps a scenario_limit rejection through the
+// typed error path.
+func TestScenarioClientValidation(t *testing.T) {
+	ts := newService(t, server.Config{})
+	c := New(ts.URL, fastBackoff(), WithSeed(1))
+	_, err := c.Scenario(context.Background(), &ScenarioRequest{
+		Kind: "ksybil", Graph: Graph{Ring: []string{"1", "2", "3"}}, V: 0, K: 9,
+	})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 400 || apiErr.Code != server.CodeScenarioLimit {
+		t.Fatalf("want 400 scenario_limit, got %v", err)
+	}
+}

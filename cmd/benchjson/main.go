@@ -28,16 +28,18 @@ import (
 	"time"
 )
 
-// Result is one parsed benchmark line. RPS captures the custom "rps"
-// metric emitted by the sustained-throughput benchmarks (b.ReportMetric);
-// zero for benchmarks that do not report one.
+// Result is one parsed benchmark line. RPS and PointsPerSec capture the
+// custom metrics emitted via b.ReportMetric by the sustained-throughput
+// benchmarks ("rps") and the scenario grid scans ("points/s"); zero for
+// benchmarks that do not report one.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations,omitempty"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	RPS         float64 `json:"rps,omitempty"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name         string  `json:"name"`
+	Iterations   int64   `json:"iterations,omitempty"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	RPS          float64 `json:"rps,omitempty"`
+	PointsPerSec float64 `json:"points_per_sec,omitempty"`
+	BytesPerOp   int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp  int64   `json:"allocs_per_op,omitempty"`
 }
 
 // Report is the file layout of BENCH_optimize.json. The seed_baseline
@@ -143,10 +145,12 @@ func carryBaseline(rep *Report, path string) {
 //
 //	BenchmarkOptimizeSplit/n=065-8  3  392216994 ns/op  174999248 B/op  4072928 allocs/op
 //	BenchmarkServerSustainedRatioRPS-8  14510  86029 ns/op  11624 rps  21138 B/op  358 allocs/op
+//	BenchmarkKSybilK3-8  26  45110273 ns/op  18054 points/s  10178245 B/op  271832 allocs/op
 //
-// (custom metrics like rps print between ns/op and the -benchmem columns).
+// (custom metrics like rps and points/s print between ns/op and the
+// -benchmem columns).
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) rps)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) (rps|points/s))?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func parseBench(out []byte) ([]Result, error) {
 	var results []Result
@@ -166,13 +170,19 @@ func parseBench(out []byte) ([]Result, error) {
 		}
 		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
 		if m[4] != "" {
-			r.RPS, _ = strconv.ParseFloat(m[4], 64)
-		}
-		if m[5] != "" {
-			r.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			val, _ := strconv.ParseFloat(m[4], 64)
+			switch m[5] {
+			case "rps":
+				r.RPS = val
+			case "points/s":
+				r.PointsPerSec = val
+			}
 		}
 		if m[6] != "" {
-			r.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+			r.BytesPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		}
+		if m[7] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[7], 10, 64)
 		}
 		results = append(results, r)
 	}

@@ -68,6 +68,21 @@ func TestParseBenchRPSMetric(t *testing.T) {
 	}
 }
 
+func TestParseBenchPointsPerSecMetric(t *testing.T) {
+	out := []byte("BenchmarkKSybilK3-8  26  45110273 ns/op  18054.2 points/s  10178245 B/op  271832 allocs/op\n")
+	results, err := parseBench(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.PointsPerSec != 18054.2 || r.RPS != 0 || r.NsPerOp != 45110273 || r.BytesPerOp != 10178245 || r.AllocsPerOp != 271832 {
+		t.Fatalf("points/s line parsed wrong: %+v", r)
+	}
+}
+
 func TestParseBenchNoMem(t *testing.T) {
 	results, err := parseBench([]byte("BenchmarkX-4   100   12345 ns/op\n"))
 	if err != nil {

@@ -13,6 +13,9 @@
 //	irshare verify     [-v <agent>] [graph args]
 //	irshare mechanisms
 //	irshare tournament -v <agent> [-grid N] [-mechanisms a,b] [graph args]
+//	irshare scenario   -kind ksybil    -v <agent> [-k N] [-grid N] [-mechanism m] [graph args]
+//	irshare scenario   -kind coalition -members i,j,... [-grid N] [-mechanism m] [graph args]
+//	irshare scenario   -kind topology  [-families a,b] [-count N] [-n N] [-grid N] [-seed S] [-dist d] [-mechanism m]
 //
 // Graph selection (one of):
 //
@@ -48,7 +51,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: irshare <decompose|allocate|utilities|ratio|curve|verify|mechanisms|tournament> [flags]")
+		return fmt.Errorf("usage: irshare <decompose|allocate|utilities|ratio|curve|verify|mechanisms|tournament|scenario> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	if cmd == "mechanisms" {
@@ -75,9 +78,34 @@ func run(args []string, w io.Writer) error {
 		agent  = fs.Int("v", -1, "agent index (ratio)")
 		grid   = fs.Int("grid", 64, "optimizer grid (ratio)")
 		mechs  = fs.String("mechanisms", "", "comma-separated mechanism names (tournament; empty = all)")
+		kind   = fs.String("kind", "", "scenario kind: ksybil|coalition|topology")
+		kIdent = fs.Int("k", 2, "identity count of a ksybil scan")
+		membF  = fs.String("members", "", "comma-separated coalition member vertices")
+		famF   = fs.String("families", "", "comma-separated topology families (empty = all)")
+		countF = fs.Int("count", 4, "instances per family (topology)")
+		nF     = fs.Int("n", 8, "vertices per generated instance (topology)")
+		seedF  = fs.Int64("seed", 1, "instance generator seed (topology)")
+		distF  = fs.String("dist", "uniform", "weight distribution: uniform|skewed|powers|unit (topology)")
+		mechF  = fs.String("mechanism", "", "allocation mechanism (scenario; empty = default)")
 	)
 	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+	if cmd == "scenario" {
+		// Topology scans generate their own instances; the other kinds take
+		// the usual graph selection.
+		var g *graph.Graph
+		if *kind != "topology" {
+			var err error
+			if g, err = loadGraph(*inFile, *ringW, *pathW, *fig1); err != nil {
+				return err
+			}
+		}
+		return runScenario(w, g, scenarioArgs{
+			kind: *kind, v: *agent, k: *kIdent, grid: *grid, members: *membF,
+			families: *famF, count: *countF, n: *nF, seed: *seedF, dist: *distF,
+			mech: *mechF,
+		})
 	}
 	g, err := loadGraph(*inFile, *ringW, *pathW, *fig1)
 	if err != nil {

@@ -200,3 +200,55 @@ func TestVerifyCommand(t *testing.T) {
 		t.Errorf("verify -fig1 output:\n%s", out2)
 	}
 }
+
+func TestScenarioCommand(t *testing.T) {
+	out, err := runCapture(t, "scenario", "-kind", "ksybil",
+		"-ring", "128,2,128,128,512,4,32", "-v", "4", "-k", "3", "-grid", "8")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"3 identities", "45 points", "incentive ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ksybil output missing %q:\n%s", want, out)
+		}
+	}
+
+	out2, err := runCapture(t, "scenario", "-kind", "coalition",
+		"-ring", "128,2,128,128,512,4,32", "-members", "5,4", "-grid", "4")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out2)
+	}
+	for _, want := range []string{"members [5 4]", "joint ratio", "member v5"} {
+		if !strings.Contains(out2, want) {
+			t.Errorf("coalition output missing %q:\n%s", want, out2)
+		}
+	}
+
+	out3, err := runCapture(t, "scenario", "-kind", "topology",
+		"-families", "ring,tree", "-count", "1", "-n", "5", "-grid", "3", "-seed", "7")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out3)
+	}
+	for _, want := range []string{"topology scan: 2 instances", "ring", "tree"} {
+		if !strings.Contains(out3, want) {
+			t.Errorf("topology output missing %q:\n%s", want, out3)
+		}
+	}
+
+	// Error paths: missing kind, unknown kind, unknown family, bad members.
+	if _, err := runCapture(t, "scenario", "-ring", "1,2,3"); err == nil {
+		t.Error("scenario without -kind accepted")
+	}
+	if _, err := runCapture(t, "scenario", "-kind", "quantum", "-ring", "1,2,3"); err == nil {
+		t.Error("unknown scenario kind accepted")
+	}
+	if _, err := runCapture(t, "scenario", "-kind", "topology", "-families", "torus"); err == nil {
+		t.Error("unknown topology family accepted")
+	}
+	if _, err := runCapture(t, "scenario", "-kind", "coalition", "-ring", "1,2,3", "-members", "x"); err == nil {
+		t.Error("bad member list accepted")
+	}
+	if _, err := runCapture(t, "scenario", "-kind", "ksybil", "-ring", "1,2,3", "-v", "0", "-mechanism", "quantum"); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+}

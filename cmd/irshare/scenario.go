@@ -1,0 +1,145 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/mechanism"
+	"repro/internal/scenario"
+)
+
+// scenarioArgs carries the parsed scenario flags into runScenario.
+type scenarioArgs struct {
+	kind     string
+	v, k     int
+	grid     int
+	members  string
+	families string
+	count, n int
+	seed     int64
+	dist     string
+	mech     string
+}
+
+// runScenario executes one strategic-manipulation scan locally — the same
+// engines the /v1/scenario endpoint and the scenario job kinds run, printed
+// as a report.
+func runScenario(w io.Writer, g *graph.Graph, a scenarioArgs) error {
+	ctx := context.Background()
+	m, err := mechanism.Get(a.mech)
+	if err != nil {
+		return err
+	}
+	switch a.kind {
+	case "ksybil":
+		if g == nil {
+			return fmt.Errorf("ksybil requires a graph")
+		}
+		if a.v < 0 {
+			return fmt.Errorf("ksybil requires -v <agent>")
+		}
+		res, err := scenario.KSybil(ctx, g, a.v, scenario.KSybilOptions{K: a.k, Grid: a.grid, Mechanism: m})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "k-identity Sybil: agent %s splits into %d identities, grid %d (%d points)\n",
+			g.Label(a.v), a.k, a.grid, res.Total)
+		fmt.Fprintf(w, "  honest U = %s\n", res.Honest)
+		fmt.Fprintf(w, "  best split c = %v (index %d), attack U = %s\n", res.BestComp, res.BestIndex, res.BestU)
+		fmt.Fprintf(w, "  incentive ratio ζ = %s ≈ %.6f\n", res.Ratio, res.Ratio.Float64())
+		return nil
+
+	case "coalition":
+		if g == nil {
+			return fmt.Errorf("coalition requires a graph")
+		}
+		members, err := parseInts(a.members)
+		if err != nil {
+			return fmt.Errorf("bad -members: %w", err)
+		}
+		res, err := scenario.Coalition(ctx, g, scenario.CoalitionOptions{Members: members, Grid: a.grid, Mechanism: m})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "coalition: members %v, grid %d (%d points)\n", members, a.grid, res.Total)
+		fmt.Fprintf(w, "  honest joint U = %s, best joint U = %s (digits %v)\n",
+			res.HonestJoint, res.BestJoint, res.BestDigits)
+		fmt.Fprintf(w, "  joint ratio = %s ≈ %.6f\n", res.JointRatio, res.JointRatio.Float64())
+		for j, v := range members {
+			fmt.Fprintf(w, "  member %-4s honest=%-12s best=%-12s gain=%-12s ratio=%s\n",
+				g.Label(v), res.Honest[j], res.BestMember[j], res.Gains[j], res.MemberRatios[j])
+		}
+		return nil
+
+	case "topology":
+		fams := scenario.Families()
+		if a.families != "" {
+			fams = strings.Split(a.families, ",")
+		}
+		dist, err := parseDistName(a.dist)
+		if err != nil {
+			return err
+		}
+		res, err := scenario.Topology(ctx, scenario.TopologyOptions{
+			Families: fams, Count: a.count, N: a.n, Grid: a.grid,
+			Seed: a.seed, Dist: dist, Mechanism: m,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "topology scan: %d instances (%d per family), n=%d, grid=%d, seed=%d\n",
+			res.Total, a.count, a.n, a.grid, a.seed)
+		for _, s := range res.Summaries {
+			if s.Unbounded {
+				fmt.Fprintf(w, "  %-10s worst instance #%d: UNBOUNDED (deviation U = %s from zero honest U)\n",
+					s.Family, s.WorstIndex, s.WorstRatio)
+				continue
+			}
+			fmt.Fprintf(w, "  %-10s worst instance #%d: ratio = %s ≈ %.6f\n",
+				s.Family, s.WorstIndex, s.WorstRatio, s.WorstRatio.Float64())
+		}
+		return nil
+
+	case "":
+		return fmt.Errorf("scenario requires -kind ksybil|coalition|topology")
+	default:
+		return fmt.Errorf("unknown scenario kind %q", a.kind)
+	}
+}
+
+// parseInts parses a comma-separated vertex list.
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// parseDistName maps the CLI distribution names (the same vocabulary as the
+// /v1/scenario "dist" field) onto graph.WeightDist.
+func parseDistName(name string) (graph.WeightDist, error) {
+	switch name {
+	case "", "uniform":
+		return graph.DistUniform, nil
+	case "skewed":
+		return graph.DistSkewed, nil
+	case "powers":
+		return graph.DistPowers, nil
+	case "unit":
+		return graph.DistUnit, nil
+	}
+	return 0, fmt.Errorf("unknown weight distribution %q", name)
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// marshalJSON renders v for a byte-level comparison.
+func marshalJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestScenarioKillAndRecoverBitIdentical is the crash-recovery acceptance
+// test of the scenario job kinds: a k-identity Sybil scan is started in a
+// real child process, SIGKILLed mid-grid, and a fresh process over the same
+// -data-dir must recover the scan from its WAL checkpoint and finish it
+// bit-identically to an uninterrupted inline /v1/scenario of the same
+// request. The jobs.wal.append latency fault slows checkpointing enough
+// that the kill reliably lands mid-grid.
+func TestScenarioKillAndRecoverBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	req := client.ScenarioRequest{
+		Kind:  "ksybil",
+		Graph: client.Graph{Ring: []string{"1", "3/2", "2", "5", "7/3", "4"}},
+		V:     1, K: 3, Grid: 24, // 325 points — plenty of grid to die in
+	}
+
+	addr1 := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	child1 := startChild(t, addr1, "-data-dir", dir,
+		"-chaos", "jobs.wal.append=latency:1:10ms", "-chaos-allow")
+	c1 := client.New("http://"+addr1, client.WithSeed(1))
+	sub, err := c1.SubmitScenario(ctx, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Job.Kind != "ksybil" {
+		t.Fatalf("submitted kind %q", sub.Job.Kind)
+	}
+
+	// Let the scan checkpoint a few grid points, then kill without ceremony.
+	for {
+		job, err := c1.GetJob(ctx, sub.Job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if client.JobTerminal(job.State) {
+			t.Fatalf("job reached %q before the kill; grid too small", job.State)
+		}
+		if job.NextIndex >= 3 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := child1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	child1.Wait() // "signal: killed" — the point of the test
+
+	// A fresh process over the same data dir recovers and finishes the scan.
+	addr2 := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	startChild(t, addr2, "-data-dir", dir)
+	c2 := client.New("http://"+addr2, client.WithSeed(2))
+	final, err := c2.WaitJob(ctx, sub.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != client.JobDone {
+		t.Fatalf("recovered job settled as %q (error %q)", final.State, final.Error)
+	}
+	if final.TotalPoints == 0 || final.NextIndex != final.TotalPoints {
+		t.Fatalf("recovered job covered %d/%d points", final.NextIndex, final.TotalPoints)
+	}
+
+	// Bit-identical to the uninterrupted inline scan of the same request:
+	// the job Result is the raw /v1/scenario body, so compare bytes.
+	resp, err := c2.Scenario(ctx, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJob, err := client.ScenarioResult(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.KSybil == nil || fromJob.KSybil == nil {
+		t.Fatalf("missing ksybil payloads: inline %+v, job %+v", resp, fromJob)
+	}
+	gotJSON, wantJSON := marshalJSON(t, fromJob), marshalJSON(t, resp)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("recovered result diverged from inline scan:\ngot:  %s\nwant: %s", gotJSON, wantJSON)
+	}
+
+	// Duplicate submission dedupes onto the finished job.
+	dup, err := c2.SubmitScenario(ctx, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Deduped || dup.Job.ID != sub.Job.ID {
+		t.Fatalf("duplicate submission: %+v, want dedupe onto %s", dup, sub.Job.ID)
+	}
+}

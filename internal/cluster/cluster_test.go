@@ -9,6 +9,7 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -514,5 +515,133 @@ func TestClusterChaosReplay(t *testing.T) {
 		if st.Hits == 0 || st.Injected == 0 {
 			t.Fatalf("site %s: hits=%d injected=%d — chaos leg is vacuous", site, st.Hits, st.Injected)
 		}
+	}
+}
+
+// TestClusterJobListView exercises the cluster-wide GET /v1/jobs: jobs
+// owned by different nodes merge into one deduped view, the state/kind
+// filters and the post-merge limit apply, and per-node cursors are
+// rejected rather than silently mis-paginated.
+func TestClusterJobListView(t *testing.T) {
+	nodes := make([]*testNode, 3)
+	urls := make([]string, 3)
+	for i := range nodes {
+		nodes[i] = startNode(t, fmt.Sprintf("n%d", i+1), server.Config{DataDir: t.TempDir()})
+		urls[i] = nodes[i].url
+	}
+	_, rts := startRouter(t, Config{}, urls...)
+	rc := routerClient(rts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	sweep, err := rc.SubmitSweep(ctx, &client.JobSubmitRequest{
+		Graph: client.Graph{Ring: []string{"1", "2", "3", "4", "5"}}, V: 2, Grid: 8,
+	})
+	if err != nil {
+		t.Fatalf("submit sweep: %v", err)
+	}
+	scen, err := rc.SubmitScenario(ctx, &client.ScenarioRequest{
+		Kind: "ksybil", Graph: client.Graph{Ring: []string{"3", "1", "4", "1", "5"}}, V: 0, K: 3, Grid: 5,
+	})
+	if err != nil {
+		t.Fatalf("submit scenario: %v", err)
+	}
+	for _, id := range []string{sweep.Job.ID, scen.Job.ID} {
+		if job, err := rc.WaitJob(ctx, id); err != nil || job.State != client.JobDone {
+			t.Fatalf("job %s: %v (state %v)", id, err, job)
+		}
+	}
+
+	list, err := rc.ListJobs(ctx, client.JobListQuery{})
+	if err != nil {
+		t.Fatalf("cluster list: %v", err)
+	}
+	seen := map[string]int{}
+	for _, j := range list.Jobs {
+		seen[j.ID]++
+	}
+	if len(list.Jobs) != 2 || seen[sweep.Job.ID] != 1 || seen[scen.Job.ID] != 1 {
+		t.Fatalf("merged view wrong: %+v", list.Jobs)
+	}
+
+	byKind, err := rc.ListJobs(ctx, client.JobListQuery{Kind: "ksybil"})
+	if err != nil {
+		t.Fatalf("kind filter: %v", err)
+	}
+	if len(byKind.Jobs) != 1 || byKind.Jobs[0].ID != scen.Job.ID {
+		t.Fatalf("kind filter answered %+v", byKind.Jobs)
+	}
+	byState, err := rc.ListJobs(ctx, client.JobListQuery{State: client.JobDone})
+	if err != nil {
+		t.Fatalf("state filter: %v", err)
+	}
+	if len(byState.Jobs) != 2 {
+		t.Fatalf("state filter answered %+v", byState.Jobs)
+	}
+	limited, err := rc.ListJobs(ctx, client.JobListQuery{Limit: 1})
+	if err != nil {
+		t.Fatalf("limit: %v", err)
+	}
+	if len(limited.Jobs) != 1 {
+		t.Fatalf("limit answered %d jobs", len(limited.Jobs))
+	}
+
+	var apiErr *client.APIError
+	if _, err := rc.ListJobs(ctx, client.JobListQuery{Cursor: 7}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("cursor must be rejected cluster-wide, got %v", err)
+	}
+	if _, err := rc.ListJobs(ctx, client.JobListQuery{Kind: "quantum"}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("unknown kind must be rejected, got %v", err)
+	}
+}
+
+func TestClusterScenarioProxy(t *testing.T) {
+	nodes := make([]*testNode, 2)
+	urls := make([]string, 2)
+	for i := range nodes {
+		nodes[i] = startNode(t, fmt.Sprintf("n%d", i+1), server.Config{})
+		urls[i] = nodes[i].url
+	}
+	_, rts := startRouter(t, Config{}, urls...)
+	rc := routerClient(rts.URL)
+	direct := routerClient(urls[0])
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// ksybil carries a graph, so placement is keyed; the routed answer must
+	// match a direct backend call bit-for-bit (exact arithmetic throughout).
+	req := &client.ScenarioRequest{
+		Kind: "ksybil", Graph: client.Graph{Ring: []string{"3", "1", "2", "1", "5"}}, V: 0, K: 3, Grid: 6,
+	}
+	routed, err := rc.Scenario(ctx, req)
+	if err != nil {
+		t.Fatalf("routed scenario: %v", err)
+	}
+	want, err := direct.Scenario(ctx, req)
+	if err != nil {
+		t.Fatalf("direct scenario: %v", err)
+	}
+	if !reflect.DeepEqual(routed, want) {
+		t.Fatalf("routed scenario diverged:\nrouted: %+v\ndirect: %+v", routed, want)
+	}
+
+	// topology has no graph: placement degrades to the endpoint spread but
+	// the scan must still route and answer.
+	topo, err := rc.Scenario(ctx, &client.ScenarioRequest{
+		Kind: "topology", Families: []string{"ring", "tree"}, Count: 1, N: 5, Grid: 3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("routed topology scenario: %v", err)
+	}
+	if topo.Topology == nil || topo.Topology.Total != 2 {
+		t.Fatalf("routed topology answered %+v", topo)
+	}
+
+	// Backend validation errors pass through with their stable code.
+	var apiErr *client.APIError
+	if _, err := rc.Scenario(ctx, &client.ScenarioRequest{
+		Kind: "ksybil", Graph: client.Graph{Ring: []string{"1", "2", "3"}}, V: 0, K: 99, Grid: 4,
+	}); !errors.As(err, &apiErr) || apiErr.Code != "scenario_limit" {
+		t.Fatalf("scenario_limit must pass through the router, got %v", err)
 	}
 }

@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -135,6 +138,128 @@ func (r *Router) handleJobGet(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	r.fanFind(w, req, id)
+}
+
+// handleJobList answers GET /v1/jobs cluster-wide: fan out to every live
+// node (forwarding the state/kind filters), merge the answers with the
+// lease table, and dedupe by job ID. Per-node cursors do not compose across
+// a fleet, so the merged view is unpaginated — each node is drained page by
+// page and ?cursor is rejected; ?limit caps the merged answer after the
+// sort. A job listed by two nodes (a failover re-placement whose old owner
+// still holds a stale copy) keeps the more advanced entry: terminal state
+// first, then the higher checkpoint index. Leased jobs whose owner is
+// currently unreachable appear as queued entries from the lease's observed
+// checkpoint, exactly like handleJobGet; nodes that fail mid-fan-out are
+// skipped the same way rather than failing the whole view.
+func (r *Router) handleJobList(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	if q.Get("cursor") != "" {
+		writeError(w, http.StatusBadRequest, "bad_body",
+			"cluster-wide job lists are unpaginated; drop the cursor parameter")
+		return
+	}
+	limit := 0
+	if l := q.Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad_body", "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	filter := url.Values{}
+	for _, k := range []string{"state", "kind"} {
+		if v := q.Get(k); v != "" {
+			filter.Set(k, v)
+		}
+	}
+
+	merged := map[string]server.WireJob{}
+	for _, node := range r.aliveSequence("/v1/jobs") {
+		cursor := uint64(0)
+		for {
+			pageQ := url.Values{}
+			for k, vs := range filter {
+				pageQ[k] = vs
+			}
+			if cursor != 0 {
+				pageQ.Set("cursor", strconv.FormatUint(cursor, 10))
+			}
+			// exchange forwards the proxied request's own query string, which
+			// here carries the router-level limit (post-merge) and would
+			// double the filters; hand it a clone with the per-page query.
+			nreq := req.Clone(req.Context())
+			nreq.URL.RawQuery = pageQ.Encode()
+			status, hdr, respBody, err := r.exchange(req.Context(), node, nreq, "/v1/jobs", nil)
+			if err != nil {
+				break // unreachable mid-fan-out: the lease merge below covers its leased jobs
+			}
+			if status == http.StatusBadRequest {
+				// An invalid filter is invalid on every node; answer with the
+				// backend's catalogue error.
+				copyHeaders(w, hdr)
+				w.WriteHeader(status)
+				w.Write(respBody)
+				return
+			}
+			if status != http.StatusOK {
+				break // jobs disabled on this node, or a gateway-grade failure
+			}
+			var page server.JobListResponse
+			if err := json.Unmarshal(respBody, &page); err != nil {
+				break
+			}
+			for _, j := range page.Jobs {
+				if cur, ok := merged[j.ID]; !ok || jobFresher(j, cur) {
+					merged[j.ID] = j
+				}
+			}
+			if page.NextCursor == 0 {
+				break
+			}
+			cursor = page.NextCursor
+		}
+	}
+
+	// Leased jobs nobody listed — owner dead, unreachable, or its store
+	// wiped — surface as queued from the router's observation, so the fleet
+	// view never silently drops supervised work.
+	state, kind := q.Get("state"), q.Get("kind")
+	for _, ls := range r.leases.all() {
+		if _, ok := merged[ls.JobID]; ok {
+			continue
+		}
+		if (state != "" && state != "queued") || (kind != "" && kind != ls.Kind) {
+			continue
+		}
+		merged[ls.JobID] = server.WireJob{
+			ID: ls.JobID, Kind: ls.Kind, State: "queued", NextIndex: len(ls.Points),
+		}
+	}
+
+	jobs := make([]server.WireJob, 0, len(merged))
+	for _, j := range merged {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(i, k int) bool {
+		if jobs[i].CreatedAt != jobs[k].CreatedAt {
+			return jobs[i].CreatedAt < jobs[k].CreatedAt
+		}
+		return jobs[i].ID < jobs[k].ID
+	})
+	if limit > 0 && len(jobs) > limit {
+		jobs = jobs[:limit]
+	}
+	writeJSON(w, http.StatusOK, server.JobListResponse{Jobs: jobs})
+}
+
+// jobFresher reports whether a beats b as the authoritative view of one job:
+// a terminal state beats a live one, then more checkpointed progress wins.
+func jobFresher(a, b server.WireJob) bool {
+	if terminalState(a.State) != terminalState(b.State) {
+		return terminalState(a.State)
+	}
+	return a.NextIndex > b.NextIndex
 }
 
 // handleJobCancel proxies a cancellation and retires the lease once the

@@ -237,10 +237,17 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/tournament", r.instrument("/v1/tournament", func(w http.ResponseWriter, req *http.Request) {
 		r.proxyAny(w, req, "/v1/tournament")
 	}))
+	mux.HandleFunc("POST /v1/scenario", r.instrument("/v1/scenario", func(w http.ResponseWriter, req *http.Request) {
+		// ksybil/coalition bodies carry a graph, so placementKey lands them
+		// where that instance's caches are warm; topology scans have no
+		// graph and fall back to the stable endpoint spread.
+		r.proxyCompute(w, req, "/v1/scenario", nil)
+	}))
 	mux.HandleFunc("GET /v1/mechanisms", r.instrument("/v1/mechanisms", func(w http.ResponseWriter, req *http.Request) {
 		r.proxyAny(w, req, "/v1/mechanisms")
 	}))
 	mux.HandleFunc("POST /v1/jobs", r.instrument("/v1/jobs", r.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs", r.instrument("/v1/jobs#list", r.handleJobList))
 	mux.HandleFunc("GET /v1/jobs/{id}", r.instrument("/v1/jobs/{id}", r.handleJobGet))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", r.instrument("/v1/jobs/{id}", r.handleJobCancel))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {

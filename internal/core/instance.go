@@ -297,6 +297,22 @@ func (in *Instance) EvalSplitCtx(ctx context.Context, w1 numeric.Rat) (*PathEval
 	return in.EvalPairCtx(ctx, w1, in.W().Sub(w1))
 }
 
+// EvalWithheldCtx evaluates the configuration P_v(w1, wk) reached by a
+// k-identity Sybil split on the ring: identity v¹ (weight w1) attaches to
+// the successor neighbor, identity v^k (weight wk) to the predecessor, and
+// the k−2 middle identities carry the withheld remainder w_v − w1 − wk with
+// no neighbors at all — they cannot trade, receive zero utility under any
+// feasible exchange, and leave every other agent's utility unchanged, so
+// the attacker's total is exactly U(v¹) + U(v^k) on the two-leaf path. The
+// only legality constraint is therefore w1 + wk ≤ w_v; with equality (k = 2)
+// this is EvalSplitCtx bit for bit.
+func (in *Instance) EvalWithheldCtx(ctx context.Context, w1, wk numeric.Rat) (*PathEval, error) {
+	if w1.Sign() < 0 || wk.Sign() < 0 || in.W().Less(w1.Add(wk)) {
+		return nil, fmt.Errorf("core: withheld split (%v, %v) outside the simplex w1 + wk ≤ %v", w1, wk, in.W())
+	}
+	return in.EvalPairCtx(ctx, w1, wk)
+}
+
 // HonestSplitEval evaluates P_v(w1⁰, w2⁰); by Lemma 9 its total utility
 // equals HonestU exactly.
 func (in *Instance) HonestSplitEval() (*PathEval, error) {

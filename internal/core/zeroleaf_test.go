@@ -1,0 +1,29 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// TestEvalPairZeroLeaves pins that the path evaluator accepts splits with
+// BOTH leaf weights zero — the degenerate compositions a k ≥ 3 scenario
+// scan (internal/scenario) produces when every unit of weight lands on the
+// isolated interior identities. General-graph decomposition does not admit
+// zero-weight vertices, but the dedicated path machinery must.
+func TestEvalPairZeroLeaves(t *testing.T) {
+	g := graph.Ring(numeric.Ints(128, 2, 128, 128, 512, 4, 32))
+	in, err := NewInstanceCtx(context.Background(), g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := in.EvalPairCtx(context.Background(), numeric.Zero, numeric.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.U.Sign() != 0 {
+		t.Fatalf("two zero-weight leaves earned %v, want 0", ev.U)
+	}
+}

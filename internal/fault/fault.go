@@ -48,6 +48,10 @@ const (
 	SiteCacheGet = "cache.get"
 	// SiteSweepPoint fires once per grid point of a split-utility sweep.
 	SiteSweepPoint = "sweep.point"
+	// SiteScenarioPoint fires once per evaluated point of a scenario grid
+	// search (k-identity Sybil compositions, coalition joint reports,
+	// topology-scan instances alike).
+	SiteScenarioPoint = "scenario.point"
 	// SiteServerBatch fires once per batched /v1/ratio computation, inside
 	// the detached batch goroutine (exercising the batcher's containment).
 	SiteServerBatch = "server.batch"
@@ -77,6 +81,7 @@ func Sites() []string {
 		SiteServerCompute,
 		SiteCacheGet,
 		SiteSweepPoint,
+		SiteScenarioPoint,
 		SiteServerBatch,
 		SiteJobsWAL,
 		SiteJobsRecover,

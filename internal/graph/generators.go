@@ -231,6 +231,92 @@ func RandomConnected(rng *rand.Rand, n int, p float64, d WeightDist) *Graph {
 	return g
 }
 
+// Barbell returns a barbell graph: two cliques K_a joined by a bridge path
+// of bridge internal vertices (bridge ≥ 0; with bridge = 0 the two cliques
+// share one direct edge). Vertices run left clique 0..a-1, bridge a..a+
+// bridge-1, right clique a+bridge..2a+bridge-1; the bridge attaches to
+// vertex a-1 of the left clique and vertex a+bridge of the right one.
+// Barbells concentrate weight behind two cut vertices — the sharpest
+// bottleneck structure of the topology-scan families.
+func Barbell(a, bridge int, ws []numeric.Rat) *Graph {
+	if a < 2 {
+		panic(fmt.Sprintf("graph: Barbell needs cliques of at least 2 vertices, got %d", a))
+	}
+	if bridge < 0 {
+		panic("graph: negative barbell bridge length")
+	}
+	n := 2*a + bridge
+	if len(ws) != n {
+		panic(fmt.Sprintf("graph: Barbell needs %d weights, got %d", n, len(ws)))
+	}
+	g := New(n)
+	mustSetAll(g, ws)
+	right := a + bridge
+	for i := 0; i < a; i++ {
+		for j := i + 1; j < a; j++ {
+			g.MustAddEdge(i, j)
+			g.MustAddEdge(right+i, right+j)
+		}
+	}
+	prev := a - 1
+	for b := 0; b < bridge; b++ {
+		g.MustAddEdge(prev, a+b)
+		prev = a + b
+	}
+	g.MustAddEdge(prev, right)
+	return g
+}
+
+// RandomBarbell returns a barbell on n ≥ 5 vertices with clique size
+// max(2, n/3) and the remainder as the bridge, weights drawn from d.
+func RandomBarbell(rng *rand.Rand, n int, d WeightDist) *Graph {
+	if n < 5 {
+		panic(fmt.Sprintf("graph: RandomBarbell needs n >= 5, got %d", n))
+	}
+	a := n / 3
+	if a < 2 {
+		a = 2
+	}
+	return Barbell(a, n-2*a, RandomWeights(rng, n, d))
+}
+
+// SmallWorld returns a Watts–Strogatz-style small-world graph on n ≥ 5
+// vertices: the base ring 0-1-...-n-1-0 plus the distance-2 chords
+// (i, i+2), each chord independently rewired with probability p to a
+// uniformly random non-adjacent endpoint. The base ring is never rewired,
+// so the graph stays connected for every draw; determinism comes entirely
+// from rng. Weights are drawn from d.
+func SmallWorld(rng *rand.Rand, n int, p float64, d WeightDist) *Graph {
+	if n < 5 {
+		panic(fmt.Sprintf("graph: SmallWorld needs n >= 5, got %d", n))
+	}
+	g := New(n)
+	mustSetAll(g, RandomWeights(rng, n, d))
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n)
+	}
+	for i := 0; i < n; i++ {
+		u, v := i, (i+2)%n
+		if rng.Float64() < p {
+			// Rewire the chord's far endpoint to a uniform vertex that is
+			// neither u nor already adjacent to u (keeping the graph simple).
+			var candidates []int
+			for w := 0; w < n; w++ {
+				if w != u && !g.HasEdge(u, w) {
+					candidates = append(candidates, w)
+				}
+			}
+			if len(candidates) > 0 {
+				v = candidates[rng.Intn(len(candidates))]
+			}
+		}
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
 // Fig1Graph returns the 6-vertex example of Fig. 1 in the paper: vertices
 // v1..v6 (here 0..5) where the first bottleneck pair is ({v1,v2}, {v3}) with
 // α = 1/3 and the second is ({v4,v5,v6}, {v4,v5,v6}) with α = 1.

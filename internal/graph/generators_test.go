@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -145,5 +146,50 @@ func TestFig1GraphShape(t *testing.T) {
 	}
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBarbellShape(t *testing.T) {
+	ws := make([]numeric.Rat, 9)
+	for i := range ws {
+		ws[i] = numeric.One
+	}
+	g := Barbell(3, 3, ws)
+	if g.N() != 9 {
+		t.Fatalf("N=%d", g.N())
+	}
+	// Two K_3 (3 edges each) plus a 4-edge bridge path 2-3-4-5-6.
+	if g.M() != 3+3+4 {
+		t.Fatalf("M=%d", g.M())
+	}
+	if !g.IsConnected() {
+		t.Fatal("barbell disconnected")
+	}
+	if g.Degree(3) != 2 || g.Degree(0) != 2 || g.Degree(2) != 3 {
+		t.Fatalf("degrees: %d %d %d", g.Degree(3), g.Degree(0), g.Degree(2))
+	}
+	// bridge = 0: the cliques share one direct edge.
+	g0 := Barbell(2, 0, ws[:4])
+	if g0.M() != 1+1+1 || !g0.IsConnected() {
+		t.Fatalf("bridge-0 barbell: M=%d", g0.M())
+	}
+}
+
+func TestRandomBarbellAndSmallWorldConnectedDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		for _, n := range []int{5, 8, 13} {
+			b := RandomBarbell(rand.New(rand.NewSource(seed)), n, DistUniform)
+			if b.N() != n || !b.IsConnected() {
+				t.Fatalf("barbell seed=%d n=%d: N=%d connected=%v", seed, n, b.N(), b.IsConnected())
+			}
+			s := SmallWorld(rand.New(rand.NewSource(seed)), n, 0.2, DistUniform)
+			if s.N() != n || !s.IsConnected() {
+				t.Fatalf("smallworld seed=%d n=%d: N=%d connected=%v", seed, n, s.N(), s.IsConnected())
+			}
+			s2 := SmallWorld(rand.New(rand.NewSource(seed)), n, 0.2, DistUniform)
+			if fmt.Sprint(s.Edges()) != fmt.Sprint(s2.Edges()) {
+				t.Fatalf("smallworld not deterministic for seed %d", seed)
+			}
+		}
 	}
 }

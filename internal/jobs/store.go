@@ -451,6 +451,8 @@ type ListOptions struct {
 	Limit int
 	// State, when non-empty, filters to that state.
 	State State
+	// Kind, when non-empty, filters to that job kind.
+	Kind string
 }
 
 // List returns one page of records in submission order plus the cursor for
@@ -466,6 +468,9 @@ func (st *Store) List(opts ListOptions) ([]*Record, uint64) {
 	for ; i < len(st.order); i++ {
 		rec := st.order[i]
 		if opts.State != "" && rec.State != opts.State {
+			continue
+		}
+		if opts.Kind != "" && rec.Kind != opts.Kind {
 			continue
 		}
 		if len(out) == opts.Limit {

@@ -1,0 +1,263 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/mechanism"
+	"repro/internal/numeric"
+	"repro/internal/obs"
+)
+
+// CoalitionOptions tunes Coalition. Zero values select defaults.
+type CoalitionOptions struct {
+	// Members are the colluding vertices (required, ≥ 2, distinct, in
+	// range). Member order is part of the enumeration contract: the first
+	// member is the most significant digit of the report odometer.
+	Members []int
+	// Grid is the report resolution: member j reports w_j·c_j/Grid for a
+	// digit c_j ∈ {1, ..., Grid} (default 8; the grid is a full product, so
+	// points grow as Grid^m). Reports are strictly positive — the zero
+	// report leaves an agent with no endowment, a degenerate profile
+	// outside the model's w > 0 domain; near-sacrificial members report
+	// w_j/Grid instead.
+	Grid int
+	// Mechanism selects the allocation backend (nil = registry default, BD).
+	Mechanism mechanism.Mechanism
+	// Start is the first point index to evaluate, in [0, Grid^m].
+	Start int
+	// Progress, when set, is invoked after each point with its index;
+	// points are sequential so indices arrive strictly ascending.
+	Progress func(i int)
+	// OnPoint, when set, streams each completed point before Progress.
+	// Returning an error aborts the scan as a real failure (the durable job
+	// runner's checkpoint hook).
+	OnPoint func(i int, p CoalitionPoint) error
+}
+
+// CoalitionPoint is one exactly evaluated joint misreport.
+type CoalitionPoint struct {
+	// Digits holds c_j per member (first member most significant in the
+	// enumeration); member j reported w_j·c_j/Grid.
+	Digits []int
+	// Members holds each member's utility at this point (Members order of
+	// the options); Joint is their sum. Carrying the per-member vector in
+	// every point is what lets a resumed scan reconstruct the best point's
+	// attribution without re-evaluating it.
+	Members []numeric.Rat
+	Joint   numeric.Rat
+}
+
+// CoalitionResult is the outcome of Coalition, following the shared sweep
+// contract (partial prefix on cancellation, earliest-maximum best).
+type CoalitionResult struct {
+	Points []CoalitionPoint
+	// BestIndex indexes Points at the earliest maximum of Joint;
+	// BestDigits/BestJoint mirror that point.
+	BestIndex  int
+	BestDigits []int
+	BestJoint  numeric.Rat
+	// HonestJoint is Σ_j U_j with every member truthful;
+	// JointRatio = BestJoint / HonestJoint (1 when both zero).
+	HonestJoint numeric.Rat
+	JointRatio  numeric.Rat
+	// Honest, BestMember hold the per-member utilities truthful and at the
+	// best point (same order as Members); Gains[j] = BestMember[j] −
+	// Honest[j] (may be negative — a sacrificial member), and
+	// MemberRatios[j] = BestMember[j]/Honest[j] with the convention of
+	// sybil.PairAttack: 1 when the honest utility is zero.
+	Honest       []numeric.Rat
+	BestMember   []numeric.Rat
+	Gains        []numeric.Rat
+	MemberRatios []numeric.Rat
+	Partial      bool
+	Start        int
+	NextIndex    int
+	Total        int
+}
+
+// CoalitionTotal returns grid^members, the full point count of a coalition
+// scan, or an error when it exceeds limit (limit ≤ 0 = no cap).
+func CoalitionTotal(grid, members, limit int) (int, error) {
+	if grid <= 0 || members < 2 {
+		return 0, fmt.Errorf("scenario: coalition needs grid ≥ 1 and ≥ 2 members, got (%d, %d)", grid, members)
+	}
+	total := 1
+	for j := 0; j < members; j++ {
+		total *= grid
+		if limit > 0 && total > limit {
+			return 0, fmt.Errorf("scenario: coalition grid %d^%d exceeds %d points", grid, members, limit)
+		}
+	}
+	return total, nil
+}
+
+// coalitionDigits decodes point index i into per-member digits in
+// {1, ..., grid}, first member most significant, base grid.
+func coalitionDigits(i, grid, members int) []int {
+	d := make([]int, members)
+	for j := members - 1; j >= 0; j-- {
+		d[j] = 1 + i%grid
+		i /= grid
+	}
+	return d
+}
+
+// Coalition scans joint misreports by a set of colluding agents on any
+// connected graph: each member j simultaneously reports w_j·c_j/Grid in
+// place of its true endowment w_j, over the full product grid of digit
+// vectors in odometer order (first member most significant, so point
+// Total−1 is the all-truthful profile). The objective is the coalition's
+// joint utility; per-member gain attribution at the best point shows who
+// profits and who sacrifices. Theorem 8 does not govern these deviations —
+// the scan is the engine form of experiment E16, which shows coalitions
+// escaping the ×2 bound.
+func Coalition(ctx context.Context, g *graph.Graph, opts CoalitionOptions) (*CoalitionResult, error) {
+	if len(opts.Members) < 2 {
+		return nil, fmt.Errorf("scenario: coalition needs ≥ 2 members, got %d", len(opts.Members))
+	}
+	if opts.Grid <= 0 {
+		opts.Grid = 8
+	}
+	seen := make(map[int]bool, len(opts.Members))
+	for _, v := range opts.Members {
+		if v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("scenario: coalition member %d outside [0, %d)", v, g.N())
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("scenario: coalition member %d listed twice", v)
+		}
+		seen[v] = true
+	}
+	total, err := CoalitionTotal(opts.Grid, len(opts.Members), 0)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Start < 0 || opts.Start > total {
+		return nil, fmt.Errorf("scenario: start index %d outside [0, %d]", opts.Start, total)
+	}
+	m := opts.Mechanism
+	if m == nil {
+		var err error
+		if m, err = mechanism.Get(""); err != nil {
+			return nil, err
+		}
+	}
+	ctx, span := obs.Start(ctx, "scenario.coalition")
+	defer span.End()
+	if span != nil {
+		span.SetAttr("mechanism", m.Name())
+		span.SetAttr("members", strconv.Itoa(len(opts.Members)))
+		span.SetAttr("grid", strconv.Itoa(opts.Grid))
+		span.SetAttr("points", strconv.Itoa(total))
+	}
+
+	honestAlloc, err := m.Allocate(ctx, g)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: honest allocation: %w", err)
+	}
+	res := &CoalitionResult{Start: opts.Start, NextIndex: opts.Start, Total: total}
+	res.Honest = make([]numeric.Rat, len(opts.Members))
+	for j, v := range opts.Members {
+		res.Honest[j] = honestAlloc.Utility(v)
+		res.HonestJoint = res.HonestJoint.Add(res.Honest[j])
+	}
+
+	digits := coalitionDigits(opts.Start, opts.Grid, len(opts.Members))
+	memberAt := make([]numeric.Rat, len(opts.Members))
+	for i := opts.Start; i < total; i++ {
+		if err := pointErr(ctx); err != nil {
+			if isCancel(err) {
+				res.Partial = true
+				break
+			}
+			return nil, fmt.Errorf("scenario: coalition point %d: %w", i, err)
+		}
+		gp := g.Clone()
+		for j, v := range opts.Members {
+			gp.MustSetWeight(v, g.Weight(v).MulInt(int64(digits[j])).DivInt(int64(opts.Grid)))
+		}
+		a, err := m.Allocate(ctx, gp)
+		if err != nil {
+			if isCancel(err) {
+				res.Partial = true
+				break
+			}
+			return nil, fmt.Errorf("scenario: coalition point %s: %w", digitKey(digits), err)
+		}
+		joint := numeric.Zero
+		for j, v := range opts.Members {
+			memberAt[j] = a.Utility(v)
+			joint = joint.Add(memberAt[j])
+		}
+		res.Points = append(res.Points, CoalitionPoint{
+			Digits:  append([]int(nil), digits...),
+			Members: append([]numeric.Rat(nil), memberAt...),
+			Joint:   joint,
+		})
+		p := res.Points[len(res.Points)-1]
+		if len(res.Points) == 1 || res.BestJoint.Less(joint) {
+			res.BestIndex = len(res.Points) - 1
+			res.BestDigits = p.Digits
+			res.BestJoint = joint
+			res.BestMember = p.Members
+		}
+		res.NextIndex = i + 1
+		if opts.OnPoint != nil {
+			if err := opts.OnPoint(i, p); err != nil {
+				return nil, fmt.Errorf("scenario: coalition point %d: %w", i, err)
+			}
+		}
+		if opts.Progress != nil {
+			opts.Progress(i)
+		}
+		// Increment the odometer: last member is the least significant digit.
+		for j := len(digits) - 1; j >= 0; j-- {
+			digits[j]++
+			if digits[j] <= opts.Grid {
+				break
+			}
+			digits[j] = 1
+		}
+	}
+	if span != nil && res.Partial {
+		span.AddEvent("scan_partial", "next_index", strconv.Itoa(res.NextIndex))
+	}
+	if len(res.Points) > 0 {
+		res.Gains = make([]numeric.Rat, len(opts.Members))
+		res.MemberRatios = make([]numeric.Rat, len(opts.Members))
+		for j := range opts.Members {
+			res.Gains[j] = res.BestMember[j].Sub(res.Honest[j])
+			if res.Honest[j].Sign() > 0 {
+				res.MemberRatios[j] = res.BestMember[j].Div(res.Honest[j])
+			} else {
+				res.MemberRatios[j] = numeric.One
+			}
+		}
+	}
+	switch {
+	case res.HonestJoint.Sign() > 0:
+		res.JointRatio = res.BestJoint.Div(res.HonestJoint)
+	case res.BestJoint.Sign() > 0:
+		// A coalition of honestly worthless members (zero honest utility) with
+		// a positive best is an unbounded ratio; surface it rather than
+		// dividing by zero.
+		return nil, fmt.Errorf("scenario: positive coalition utility %v from zero honest utility", res.BestJoint)
+	default:
+		res.JointRatio = numeric.One
+	}
+	return res, nil
+}
+
+// digitKey renders a digit vector as the comma-joined form used in error
+// messages and checkpoint encodings ("3,0,7").
+func digitKey(digits []int) string {
+	parts := make([]string, len(digits))
+	for i, d := range digits {
+		parts[i] = strconv.Itoa(d)
+	}
+	return strings.Join(parts, ",")
+}

@@ -57,6 +57,75 @@ func FuzzRatDecode(f *testing.F) {
 	})
 }
 
+// FuzzScenarioRequest throws arbitrary JSON at the /v1/scenario request
+// validator (k bounds, grid bounds, member sets, topology family specs).
+// The target exercises validateScenario directly against a recorder rather
+// than the live endpoint, so fuzzer-synthesized scans are sized but never
+// executed. The contract: no panic; an accepted request has a resolved kind
+// and a point total within the admission cap; a rejected one answers a 4xx
+// with one of the documented stable codes.
+func FuzzScenarioRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"kind":"ksybil","graph":{"ring":["1","2","3"]},"v":0,"k":3,"grid":4}`,
+		`{"kind":"ksybil","graph":{"ring":["1","2","3"]},"v":0,"k":9}`,
+		`{"kind":"ksybil","graph":{"ring":["1","2","3"]},"v":0,"k":8,"grid":512}`,
+		`{"kind":"ksybil","graph":{"path":["1","2","3"]},"v":0}`,
+		`{"kind":"ksybil","graph":{"ring":["1","2","3"]},"v":-1}`,
+		`{"kind":"coalition","graph":{"ring":["1","2","3","4","5"]},"members":[0,2],"grid":3}`,
+		`{"kind":"coalition","graph":{"ring":["1","2","3","4","5"]},"members":[1,1]}`,
+		`{"kind":"coalition","graph":{"ring":["1","2","3","4","5"]},"members":[0,1,2,3,4]}`,
+		`{"kind":"coalition","graph":{"ring":["1","2","3","4","5"]},"members":[0,1,2,3],"grid":9}`,
+		`{"kind":"topology","families":["ring","tree"],"count":1,"n":5,"grid":3}`,
+		`{"kind":"topology","families":["torus"]}`,
+		`{"kind":"topology","families":["ring","ring"]}`,
+		`{"kind":"topology","n":1000000}`,
+		`{"kind":"topology","grid":-3}`,
+		`{"kind":"topology","dist":"zipf"}`,
+		`{"kind":"topology","families":["ring"],"cert":true,"mechanism":"eqsplit"}`,
+		`{"kind":"quantum"}`,
+		`{"kind":"ksybil","graph":{"ring":["1","1e999999999","3"]},"v":0}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	srv, err := New(Config{Logger: discardLogger()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { srv.Close() })
+	knownCodes := map[string]bool{
+		CodeBadBody: true, CodeBadGraph: true, CodeNotRing: true,
+		CodeBadAgent: true, CodeBadGrid: true, CodeScenarioLimit: true,
+		CodeUnknownTopology: true, CodeUnknownMechanism: true,
+		CodeCertLimit: true,
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		var req ScenarioRequest
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			return
+		}
+		rec := httptest.NewRecorder()
+		spec, _, _, ok := srv.validateScenario(rec, &req)
+		if ok {
+			if spec.Kind == "" || spec.Total < 1 || spec.Total > maxScenarioPoints {
+				t.Fatalf("accepted spec out of bounds: %+v (body %q)", spec, body)
+			}
+			return
+		}
+		if rec.Code < 400 || rec.Code >= 500 {
+			t.Fatalf("rejection with status %d (body %q): %s", rec.Code, body, rec.Body)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || !knownCodes[er.Code] {
+			t.Fatalf("unstable error code %q (err %v) for body %q: %s", er.Code, err, body, rec.Body)
+		}
+	})
+}
+
 // FuzzMechanismField throws arbitrary strings at the "mechanism" wire field
 // of /v1/allocate. The contract under fuzz: the server never crashes, and
 // the answer is exactly 200 for a registered name (or the empty default)

@@ -36,7 +36,12 @@ func TestGoldenWireFormat(t *testing.T) {
 		{"utilities_path", "/v1/utilities", UtilitiesRequest{Graph: WireGraph{Path: []string{"2", "1", "2"}}}},
 		{"ratio_ring", "/v1/ratio", RatioRequest{Graph: ring, V: 2, Grid: 8}},
 		{"sweep_ring", "/v1/sweep", SweepRequest{Graph: ring, V: 2, Grid: 4}},
+		{"scenario_ksybil", "/v1/scenario", ScenarioRequest{Kind: "ksybil", Graph: ring, V: 2, K: 3, Grid: 4}},
+		{"scenario_coalition", "/v1/scenario", ScenarioRequest{Kind: "coalition", Graph: ring, Members: []int{0, 2}, Grid: 2}},
+		{"scenario_topology", "/v1/scenario", ScenarioRequest{Kind: "topology", Families: []string{"ring"}, Count: 1, N: 5, Grid: 3, Seed: 1}},
 		{"error_bad_engine", "/v1/decompose", DecomposeRequest{Graph: ring, Engine: "quantum"}},
+		{"error_scenario_limit", "/v1/scenario", ScenarioRequest{Kind: "ksybil", Graph: ring, V: 0, K: 9}},
+		{"error_unknown_topology", "/v1/scenario", ScenarioRequest{Kind: "topology", Families: []string{"torus"}}},
 		{"error_not_ring", "/v1/ratio", RatioRequest{Graph: WireGraph{Path: []string{"1", "2", "3"}}, V: 0}},
 		{"error_two_shapes", "/v1/decompose", DecomposeRequest{Graph: WireGraph{Ring: []string{"1", "1", "1"}, Path: []string{"1"}}}},
 		{"error_negative_weight", "/v1/utilities", UtilitiesRequest{Graph: WireGraph{Ring: []string{"1", "-2", "3"}}}},

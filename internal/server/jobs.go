@@ -91,8 +91,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	case "tournament":
 		s.submitTournamentJob(w, r, &req)
 		return
+	case "ksybil", "coalition", "topology":
+		s.submitScenarioJob(w, r, &req)
+		return
 	default:
-		writeError(w, http.StatusBadRequest, CodeBadBody, fmt.Sprintf("unknown job kind %q (want sweep, enumerate, or tournament)", req.Kind))
+		writeError(w, http.StatusBadRequest, CodeBadBody, fmt.Sprintf("unknown job kind %q (want sweep, enumerate, tournament, ksybil, coalition, or topology)", req.Kind))
 		return
 	}
 	grid := req.Grid
@@ -280,6 +283,15 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if k := q.Get("kind"); k != "" {
+		switch k {
+		case "sweep", "enumerate", "tournament", "ksybil", "coalition", "topology":
+			opts.Kind = k
+		default:
+			writeError(w, http.StatusBadRequest, CodeBadBody, fmt.Sprintf("unknown kind %q", k))
+			return
+		}
+	}
 	recs, next := s.jobStore.List(opts)
 	resp := JobListResponse{Jobs: make([]WireJob, len(recs)), NextCursor: next}
 	for i, rec := range recs {
@@ -338,6 +350,11 @@ func wireJob(rec *jobs.Record, detail bool) WireJob {
 		if err := json.Unmarshal(rec.Spec, &spec); err == nil {
 			j.TotalPoints = spec.Total
 		}
+	case "ksybil", "coalition", "topology":
+		var spec scenarioJobSpec
+		if err := json.Unmarshal(rec.Spec, &spec); err == nil {
+			j.TotalPoints = spec.Total
+		}
 	default:
 		var spec sweepJobSpec
 		if err := json.Unmarshal(rec.Spec, &spec); err == nil && spec.Grid > 0 {
@@ -360,6 +377,8 @@ func (s *Server) runJob(ctx context.Context, rec *jobs.Record, ckpt jobs.Checkpo
 		return s.runEnumJob(ctx, rec, ckpt)
 	case "tournament":
 		return s.runTournamentJob(ctx, rec, ckpt)
+	case "ksybil", "coalition", "topology":
+		return s.runScenarioJob(ctx, rec, ckpt)
 	default:
 		return s.runSweepJob(ctx, rec, ckpt)
 	}

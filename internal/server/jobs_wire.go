@@ -28,7 +28,12 @@ type JobSubmitRequest struct {
 	Priority   int                `json:"priority,omitempty"`
 	Enum       *EnumJobRequest    `json:"enum,omitempty"`
 	Tournament *TournamentRequest `json:"tournament,omitempty"`
-	Checkpoint *JobCheckpoint     `json:"checkpoint,omitempty"`
+	// Scenario parameterizes the kinds "ksybil", "coalition", and
+	// "topology": the same body as POST /v1/scenario, with its kind either
+	// empty or equal to the job kind (Graph/V/Grid/Mechanism at this level
+	// are ignored for scenario kinds).
+	Scenario   *ScenarioRequest `json:"scenario,omitempty"`
+	Checkpoint *JobCheckpoint   `json:"checkpoint,omitempty"`
 }
 
 // JobCheckpoint seeds a submission with progress already computed

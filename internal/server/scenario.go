@@ -1,0 +1,973 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/cert"
+	"repro/internal/cert/build"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/jobs"
+	"repro/internal/mechanism"
+	"repro/internal/numeric"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+// The scenario layer: POST /v1/scenario runs one strategic-manipulation
+// scan (internal/scenario) inline, and kinds "ksybil"/"coalition"/"topology"
+// of POST /v1/jobs run the same scans as durable, checkpointed jobs. Both
+// paths share one validator and one execution core, so a job's final Result
+// is byte-identical to the inline response of the same request — whether or
+// not the job was ever interrupted.
+
+// Scenario limits. Scans fan out allocations per point, so every axis is
+// capped at submission; violations answer 400 scenario_limit.
+const (
+	// minScenarioK/maxScenarioK bound the identity count of a ksybil scan.
+	minScenarioK = 2
+	maxScenarioK = 8
+	// maxScenarioPoints caps the total point count of any scenario scan
+	// (grid points for ksybil/coalition, instances for topology).
+	maxScenarioPoints = 4096
+	// maxCoalitionMembers bounds the coalition size; the grid is
+	// Grid^members, so this also bounds the exponent.
+	maxCoalitionMembers = 4
+	// maxTopologyN / maxTopologyCount / maxTopologyGrid bound a topology
+	// scan: each instance costs n·(grid−1) full allocations.
+	maxTopologyN     = 64
+	maxTopologyCount = 64
+	maxTopologyGrid  = 64
+)
+
+// Error codes of the scenario API (see the main catalogue in wire.go).
+const (
+	// CodeScenarioLimit: a scenario parameter exceeds the server's scan
+	// limits (400) — k outside [2, 8], a grid whose point count exceeds
+	// 4096, too many coalition members, or topology bounds out of range.
+	CodeScenarioLimit = "scenario_limit"
+	// CodeUnknownTopology: a topology family name is not registered (400).
+	// The valid names are those of scenario.Families.
+	CodeUnknownTopology = "unknown_topology"
+)
+
+// ScenarioRequest is the body of POST /v1/scenario (and, nested under
+// "scenario", of a scenario job submission). Kind selects the scan:
+//
+//   - "ksybil": agent V of ring Graph splits into K identities over the
+//     composition grid Σ c_j = Grid (Grid 0 = default 64);
+//   - "coalition": the Members of Graph jointly misreport over the product
+//     grid of positive reports w_j·c_j/Grid, c_j ∈ {1..Grid} (default 8);
+//   - "topology": generated graph Families (empty = all registered) are
+//     scanned for single-agent misreport deviations — Count instances per
+//     family (default 4) of N vertices (default 8) with Dist-distributed
+//     weights ("uniform", "skewed", "powers", "unit"; "" = uniform), seeded
+//     by Seed, each vertex trying reports w_v·c/Grid for c ∈ {1..Grid−1}.
+//
+// Mechanism selects the allocation backend ("" = default "bd"). Cert,
+// topology-only, additionally requests a BD ratio certificate of the scan's
+// best ring point (400 cert_limit for other kinds or non-certifiable
+// mechanisms).
+type ScenarioRequest struct {
+	Kind      string    `json:"kind"`
+	Mechanism string    `json:"mechanism,omitempty"`
+	Graph     WireGraph `json:"graph,omitempty"`
+	V         int       `json:"v,omitempty"`
+	K         int       `json:"k,omitempty"`
+	Grid      int       `json:"grid,omitempty"`
+	Members   []int     `json:"members,omitempty"`
+	Families  []string  `json:"families,omitempty"`
+	Count     int       `json:"count,omitempty"`
+	N         int       `json:"n,omitempty"`
+	Seed      int64     `json:"seed,omitempty"`
+	Dist      string    `json:"dist,omitempty"`
+	Cert      bool      `json:"cert,omitempty"`
+}
+
+// WireScenarioKSybilPoint is one evaluated k-way split: identity j holds
+// w_v·Comp[j]/grid and U is the combined utility of all identities.
+type WireScenarioKSybilPoint struct {
+	Comp []int  `json:"comp"`
+	U    string `json:"u"`
+}
+
+// ScenarioKSybilResult is the kind "ksybil" payload of a scenario answer.
+type ScenarioKSybilResult struct {
+	K         int                       `json:"k"`
+	Grid      int                       `json:"grid"`
+	Points    []WireScenarioKSybilPoint `json:"points"`
+	BestIndex int                       `json:"best_index"`
+	BestComp  []int                     `json:"best_comp"`
+	BestU     string                    `json:"best_u"`
+	Honest    string                    `json:"honest"`
+	Ratio     string                    `json:"ratio"`
+	Total     int                       `json:"total"`
+}
+
+// WireScenarioCoalitionPoint is one evaluated joint misreport: member j
+// reported w_j·Digits[j]/grid and earned Members[j]; Joint is the sum.
+type WireScenarioCoalitionPoint struct {
+	Digits  []int    `json:"digits"`
+	Members []string `json:"members"`
+	Joint   string   `json:"joint"`
+}
+
+// ScenarioCoalitionResult is the kind "coalition" payload of a scenario
+// answer. Honest/BestMember/Gains/MemberRatios are per-member vectors in
+// Members order; Gains may be negative (a sacrificial member).
+type ScenarioCoalitionResult struct {
+	Grid         int                          `json:"grid"`
+	Members      []int                        `json:"members"`
+	Points       []WireScenarioCoalitionPoint `json:"points"`
+	BestIndex    int                          `json:"best_index"`
+	BestDigits   []int                        `json:"best_digits"`
+	BestJoint    string                       `json:"best_joint"`
+	HonestJoint  string                       `json:"honest_joint"`
+	JointRatio   string                       `json:"joint_ratio"`
+	Honest       []string                     `json:"honest"`
+	BestMember   []string                     `json:"best_member"`
+	Gains        []string                     `json:"gains"`
+	MemberRatios []string                     `json:"member_ratios"`
+	Total        int                          `json:"total"`
+}
+
+// WireTopologyOutcome is one scanned instance: the worst single-agent
+// misreport deviation found over all vertices and grid reports. When
+// Unbounded is set, a vertex with zero honest utility gained Best > 0 and
+// Ratio is meaningless ("0").
+type WireTopologyOutcome struct {
+	Family     string `json:"family"`
+	Index      int    `json:"index"`
+	N          int    `json:"n"`
+	M          int    `json:"m"`
+	WorstV     int    `json:"worst_v"`
+	WorstDigit int    `json:"worst_digit"`
+	Honest     string `json:"honest"`
+	Best       string `json:"best"`
+	Ratio      string `json:"ratio"`
+	Unbounded  bool   `json:"unbounded,omitempty"`
+}
+
+// WireFamilySummary aggregates one family's outcomes: the worst instance
+// (regenerable from its index) and its deviation ratio — or, when
+// Unbounded, its raw deviation utility.
+type WireFamilySummary struct {
+	Family     string `json:"family"`
+	Count      int    `json:"count"`
+	WorstIndex int    `json:"worst_index"`
+	WorstRatio string `json:"worst_ratio"`
+	Unbounded  bool   `json:"unbounded,omitempty"`
+}
+
+// ScenarioTopologyResult is the kind "topology" payload of a scenario
+// answer. Certificate, present only when the request opted in with cert, is
+// the BD ratio certificate of the ring family's worst instance at its worst
+// vertex, self-checked by the server (cert.Check) before attachment.
+type ScenarioTopologyResult struct {
+	Families    []string              `json:"families"`
+	Count       int                   `json:"count"`
+	N           int                   `json:"n"`
+	Grid        int                   `json:"grid"`
+	Seed        int64                 `json:"seed"`
+	Dist        string                `json:"dist"`
+	Outcomes    []WireTopologyOutcome `json:"outcomes"`
+	Summaries   []WireFamilySummary   `json:"summaries"`
+	Total       int                   `json:"total"`
+	Certificate *cert.RatioCert       `json:"certificate,omitempty"`
+}
+
+// ScenarioResponse is the body of a /v1/scenario answer (and the final
+// Result of a durable scenario job): exactly one of the kind payloads is
+// set, matching Kind. Mechanism is the resolved backend name.
+type ScenarioResponse struct {
+	Kind      string                   `json:"kind"`
+	Mechanism string                   `json:"mechanism"`
+	KSybil    *ScenarioKSybilResult    `json:"ksybil,omitempty"`
+	Coalition *ScenarioCoalitionResult `json:"coalition,omitempty"`
+	Topology  *ScenarioTopologyResult  `json:"topology,omitempty"`
+}
+
+// scenarioJobSpec is the persisted specification of a scenario job: the
+// validated request with every default resolved and the point count pinned,
+// so progress reporting and resume never depend on re-deriving the layout.
+// Mechanism is empty for the default backend, mirroring sweepJobSpec.
+type scenarioJobSpec struct {
+	Kind      string     `json:"kind"`
+	Mechanism string     `json:"mechanism,omitempty"`
+	Graph     *WireGraph `json:"graph,omitempty"`
+	V         int        `json:"v,omitempty"`
+	K         int        `json:"k,omitempty"`
+	Grid      int        `json:"grid"`
+	Members   []int      `json:"members,omitempty"`
+	Families  []string   `json:"families,omitempty"`
+	Count     int        `json:"count,omitempty"`
+	N         int        `json:"n,omitempty"`
+	Seed      int64      `json:"seed,omitempty"`
+	Dist      string     `json:"dist,omitempty"`
+	Cert      bool       `json:"cert,omitempty"`
+	Total     int        `json:"total"`
+}
+
+// parseDist maps the wire weight-distribution name ("" = uniform) to the
+// generator enum.
+func parseDist(name string) (graph.WeightDist, error) {
+	switch name {
+	case "", "uniform":
+		return graph.DistUniform, nil
+	case "skewed":
+		return graph.DistSkewed, nil
+	case "powers":
+		return graph.DistPowers, nil
+	case "unit":
+		return graph.DistUnit, nil
+	}
+	return 0, fmt.Errorf("unknown weight distribution %q (want uniform, skewed, powers, or unit)", name)
+}
+
+// topologyOptions rebuilds the engine options of a topology spec. The
+// mechanism may be nil when only instance regeneration is needed.
+func (spec *scenarioJobSpec) topologyOptions(m mechanism.Mechanism) (scenario.TopologyOptions, error) {
+	dist, err := parseDist(spec.Dist)
+	if err != nil {
+		return scenario.TopologyOptions{}, err
+	}
+	return scenario.TopologyOptions{
+		Families:  spec.Families,
+		Count:     spec.Count,
+		N:         spec.N,
+		Grid:      spec.Grid,
+		Seed:      spec.Seed,
+		Dist:      dist,
+		Mechanism: m,
+	}, nil
+}
+
+// validateScenario resolves and validates a scenario request shared by the
+// inline endpoint and job submission: kind, mechanism, graph/agent bounds,
+// and the scan limits. The returned spec has every default resolved and
+// Total pinned; g is the built instance graph (nil for topology scans,
+// which generate their own).
+func (s *Server) validateScenario(w http.ResponseWriter, req *ScenarioRequest) (scenarioJobSpec, *graph.Graph, mechanism.Mechanism, bool) {
+	fail := func() (scenarioJobSpec, *graph.Graph, mechanism.Mechanism, bool) {
+		return scenarioJobSpec{}, nil, nil, false
+	}
+	m, ok := resolveWireMechanism(w, req.Mechanism)
+	if !ok {
+		return fail()
+	}
+	// The persisted mechanism is left empty for the default, keeping specs
+	// and job addresses of default-backend submissions byte-stable.
+	mechName := ""
+	if m.Name() != mechanism.Default {
+		mechName = m.Name()
+	}
+	spec := scenarioJobSpec{Kind: req.Kind, Mechanism: mechName}
+	if req.Cert {
+		if req.Kind != "topology" {
+			writeError(w, http.StatusBadRequest, CodeCertLimit,
+				"scenario certificates are only available for topology scans (the best ring point)")
+			return fail()
+		}
+		if !mechCertifiable(m) {
+			writeError(w, http.StatusBadRequest, CodeCertLimit,
+				fmt.Sprintf("mechanism %q cannot build certificates", m.Name()))
+			return fail()
+		}
+		spec.Cert = true
+	}
+	switch req.Kind {
+	case "ksybil":
+		g, err := req.Graph.Build()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadGraph, err.Error())
+			return fail()
+		}
+		if !g.IsRing() {
+			writeError(w, http.StatusBadRequest, CodeNotRing, "ksybil scenarios require a ring graph")
+			return fail()
+		}
+		if req.V < 0 || req.V >= g.N() {
+			writeError(w, http.StatusBadRequest, CodeBadAgent,
+				fmt.Sprintf("agent %d out of range [0, %d)", req.V, g.N()))
+			return fail()
+		}
+		k := req.K
+		if k == 0 {
+			k = 2
+		}
+		if k < minScenarioK || k > maxScenarioK {
+			writeError(w, http.StatusBadRequest, CodeScenarioLimit,
+				fmt.Sprintf("k outside [%d, %d]", minScenarioK, maxScenarioK))
+			return fail()
+		}
+		grid := req.Grid
+		if grid == 0 {
+			grid = 64
+		}
+		if grid < 1 || grid > 4096 {
+			writeError(w, http.StatusBadRequest, CodeBadGrid, "grid outside [1, 4096]")
+			return fail()
+		}
+		total, err := scenario.KSybilTotal(grid, k, maxScenarioPoints)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadGrid, err.Error())
+			return fail()
+		}
+		if total > maxScenarioPoints {
+			writeError(w, http.StatusBadRequest, CodeScenarioLimit,
+				fmt.Sprintf("k-identity grid exceeds %d points", maxScenarioPoints))
+			return fail()
+		}
+		gCopy := req.Graph
+		spec.Graph, spec.V, spec.K, spec.Grid, spec.Total = &gCopy, req.V, k, grid, total
+		return spec, g, m, true
+	case "coalition":
+		g, err := req.Graph.Build()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadGraph, err.Error())
+			return fail()
+		}
+		if len(req.Members) < 2 || len(req.Members) > maxCoalitionMembers {
+			writeError(w, http.StatusBadRequest, CodeScenarioLimit,
+				fmt.Sprintf("coalition needs between 2 and %d members, got %d", maxCoalitionMembers, len(req.Members)))
+			return fail()
+		}
+		seen := make(map[int]bool, len(req.Members))
+		for _, v := range req.Members {
+			if v < 0 || v >= g.N() {
+				writeError(w, http.StatusBadRequest, CodeBadAgent,
+					fmt.Sprintf("member %d out of range [0, %d)", v, g.N()))
+				return fail()
+			}
+			if seen[v] {
+				writeError(w, http.StatusBadRequest, CodeBadAgent,
+					fmt.Sprintf("member %d listed twice", v))
+				return fail()
+			}
+			seen[v] = true
+		}
+		grid := req.Grid
+		if grid == 0 {
+			grid = 8
+		}
+		if grid < 1 {
+			writeError(w, http.StatusBadRequest, CodeBadGrid, "grid must be positive")
+			return fail()
+		}
+		total, err := scenario.CoalitionTotal(grid, len(req.Members), maxScenarioPoints)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeScenarioLimit, err.Error())
+			return fail()
+		}
+		gCopy := req.Graph
+		spec.Graph, spec.Members, spec.Grid, spec.Total = &gCopy, req.Members, grid, total
+		return spec, g, m, true
+	case "topology":
+		fams := req.Families
+		if len(fams) == 0 {
+			fams = scenario.Families()
+		}
+		seen := make(map[string]bool, len(fams))
+		for _, f := range fams {
+			if !scenario.ValidFamily(f) {
+				writeError(w, http.StatusBadRequest, CodeUnknownTopology,
+					fmt.Sprintf("unknown topology family %q (want one of %s)", f, strings.Join(scenario.Families(), ", ")))
+				return fail()
+			}
+			if seen[f] {
+				writeError(w, http.StatusBadRequest, CodeBadBody,
+					fmt.Sprintf("topology family %q listed twice", f))
+				return fail()
+			}
+			seen[f] = true
+		}
+		if spec.Cert && !seen[scenario.FamilyRing] {
+			writeError(w, http.StatusBadRequest, CodeCertLimit,
+				"scenario certificates need the ring family in the scan")
+			return fail()
+		}
+		count := req.Count
+		if count == 0 {
+			count = 4
+		}
+		if count < 1 || count > maxTopologyCount {
+			writeError(w, http.StatusBadRequest, CodeScenarioLimit,
+				fmt.Sprintf("topology count outside [1, %d]", maxTopologyCount))
+			return fail()
+		}
+		n := req.N
+		if n == 0 {
+			n = 8
+		}
+		if n < 5 || n > maxTopologyN {
+			writeError(w, http.StatusBadRequest, CodeScenarioLimit,
+				fmt.Sprintf("topology n outside [5, %d]", maxTopologyN))
+			return fail()
+		}
+		grid := req.Grid
+		if grid == 0 {
+			grid = 8
+		}
+		if grid < 2 || grid > maxTopologyGrid {
+			writeError(w, http.StatusBadRequest, CodeBadGrid,
+				fmt.Sprintf("topology grid outside [2, %d]", maxTopologyGrid))
+			return fail()
+		}
+		dist := req.Dist
+		if dist == "" {
+			dist = "uniform"
+		}
+		if _, err := parseDist(dist); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadBody, err.Error())
+			return fail()
+		}
+		total := scenario.TopologyTotal(len(fams), count)
+		if total > maxScenarioPoints {
+			writeError(w, http.StatusBadRequest, CodeScenarioLimit,
+				fmt.Sprintf("topology scan exceeds %d instances", maxScenarioPoints))
+			return fail()
+		}
+		spec.Families, spec.Count, spec.N, spec.Grid = fams, count, n, grid
+		spec.Seed, spec.Dist, spec.Total = req.Seed, dist, total
+		return spec, nil, m, true
+	case "":
+		writeError(w, http.StatusBadRequest, CodeBadBody, "missing scenario kind (want ksybil, coalition, or topology)")
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadBody,
+			fmt.Sprintf("unknown scenario kind %q (want ksybil, coalition, or topology)", req.Kind))
+	}
+	return fail()
+}
+
+// scenarioJobKey is the content address of one scenario job: the
+// mechanism-scoped instance key plus the scan parameters (for graph-bound
+// kinds), or the full generator parameters (for topology scans).
+func scenarioJobKey(spec *scenarioJobSpec, g *graph.Graph, m mechanism.Mechanism) string {
+	switch spec.Kind {
+	case "ksybil":
+		return fmt.Sprintf("%s|v=%d|k=%d|grid=%d|ksybil", mechKey(g, m), spec.V, spec.K, spec.Grid)
+	case "coalition":
+		return fmt.Sprintf("%s|members=%s|grid=%d|coalition", mechKey(g, m), joinInts(spec.Members), spec.Grid)
+	default: // topology
+		key := fmt.Sprintf("f=%s|count=%d|n=%d|grid=%d|seed=%d|dist=%s|cert=%t",
+			strings.Join(spec.Families, ","), spec.Count, spec.N, spec.Grid, spec.Seed, spec.Dist, spec.Cert)
+		if m.Name() != mechanism.Default {
+			key += ";m=" + m.Name()
+		}
+		return key + "|topology"
+	}
+}
+
+// joinInts renders an int vector in the comma-joined checkpoint form.
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// splitInts parses the comma-joined checkpoint form back to ints.
+func splitInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("corrupt int vector %q: %w", s, err)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// Scenario-job checkpoints reuse the sweep Point shape. For ksybil, W1
+// carries the comma-joined composition and U the canonical utility; for
+// coalition, W1 the digit vector and U a small JSON object with the joint
+// and per-member utilities (so a resumed scan reconstructs the best point's
+// attribution without re-evaluation); for topology, W1 the decimal global
+// instance index and U the WireTopologyOutcome JSON.
+
+func encodeKSybilPoint(p scenario.KSybilPoint) jobs.Point {
+	return jobs.Point{W1: joinInts(p.Comp), U: EncodeRat(p.U)}
+}
+
+func decodeKSybilPoint(p jobs.Point) (scenario.KSybilPoint, error) {
+	comp, err := splitInts(p.W1)
+	if err != nil {
+		return scenario.KSybilPoint{}, err
+	}
+	u, err := DecodeRat(p.U)
+	if err != nil {
+		return scenario.KSybilPoint{}, fmt.Errorf("corrupt utility: %w", err)
+	}
+	return scenario.KSybilPoint{Comp: comp, U: u}, nil
+}
+
+// wireCoalitionCkpt is the U payload of a coalition checkpoint point.
+type wireCoalitionCkpt struct {
+	Joint   string   `json:"joint"`
+	Members []string `json:"members"`
+}
+
+func encodeCoalitionPoint(p scenario.CoalitionPoint) (jobs.Point, error) {
+	raw, err := json.Marshal(wireCoalitionCkpt{Joint: EncodeRat(p.Joint), Members: encodeRats(p.Members)})
+	if err != nil {
+		return jobs.Point{}, err
+	}
+	return jobs.Point{W1: joinInts(p.Digits), U: string(raw)}, nil
+}
+
+func decodeCoalitionPoint(p jobs.Point) (scenario.CoalitionPoint, error) {
+	digits, err := splitInts(p.W1)
+	if err != nil {
+		return scenario.CoalitionPoint{}, err
+	}
+	var ck wireCoalitionCkpt
+	if err := json.Unmarshal([]byte(p.U), &ck); err != nil {
+		return scenario.CoalitionPoint{}, fmt.Errorf("corrupt coalition point: %w", err)
+	}
+	joint, err := DecodeRat(ck.Joint)
+	if err != nil {
+		return scenario.CoalitionPoint{}, fmt.Errorf("corrupt joint utility: %w", err)
+	}
+	members, err := decodeRats("members", ck.Members)
+	if err != nil {
+		return scenario.CoalitionPoint{}, err
+	}
+	return scenario.CoalitionPoint{Digits: digits, Members: members, Joint: joint}, nil
+}
+
+func wireTopologyOutcome(out scenario.TopologyOutcome) WireTopologyOutcome {
+	return WireTopologyOutcome{
+		Family:     out.Family,
+		Index:      out.Index,
+		N:          out.N,
+		M:          out.M,
+		WorstV:     out.WorstV,
+		WorstDigit: out.WorstDigit,
+		Honest:     EncodeRat(out.Honest),
+		Best:       EncodeRat(out.Best),
+		Ratio:      EncodeRat(out.Ratio),
+		Unbounded:  out.Unbounded,
+	}
+}
+
+func encodeTopologyPoint(i int, out scenario.TopologyOutcome) (jobs.Point, error) {
+	raw, err := json.Marshal(wireTopologyOutcome(out))
+	if err != nil {
+		return jobs.Point{}, err
+	}
+	return jobs.Point{W1: strconv.Itoa(i), U: string(raw)}, nil
+}
+
+func decodeTopologyPoint(p jobs.Point) (scenario.TopologyOutcome, error) {
+	var wo WireTopologyOutcome
+	if err := json.Unmarshal([]byte(p.U), &wo); err != nil {
+		return scenario.TopologyOutcome{}, fmt.Errorf("corrupt topology outcome %s: %w", p.W1, err)
+	}
+	out := scenario.TopologyOutcome{
+		Family: wo.Family, Index: wo.Index, N: wo.N, M: wo.M,
+		WorstV: wo.WorstV, WorstDigit: wo.WorstDigit, Unbounded: wo.Unbounded,
+	}
+	var err error
+	for _, f := range []struct {
+		s   string
+		dst *numeric.Rat
+	}{{wo.Honest, &out.Honest}, {wo.Best, &out.Best}, {wo.Ratio, &out.Ratio}} {
+		if *f.dst, err = DecodeRat(f.s); err != nil {
+			return scenario.TopologyOutcome{}, fmt.Errorf("corrupt topology outcome %s: %w", p.W1, err)
+		}
+	}
+	return out, nil
+}
+
+// wireKSybilResult folds a full point set into the kind "ksybil" payload:
+// earliest-maximum best and the shared ratio conventions, identical to the
+// engine's own fold — which is what makes a resumed job's combined
+// prefix+tail byte-identical to an uninterrupted run.
+func wireKSybilResult(spec *scenarioJobSpec, points []scenario.KSybilPoint, honest numeric.Rat) (*ScenarioKSybilResult, error) {
+	out := &ScenarioKSybilResult{
+		K: spec.K, Grid: spec.Grid, Total: spec.Total,
+		Honest: EncodeRat(honest),
+		Points: make([]WireScenarioKSybilPoint, len(points)),
+	}
+	var best numeric.Rat
+	var bestComp []int
+	for i, p := range points {
+		out.Points[i] = WireScenarioKSybilPoint{Comp: p.Comp, U: EncodeRat(p.U)}
+		if i == 0 || best.Less(p.U) {
+			best, bestComp, out.BestIndex = p.U, p.Comp, i
+		}
+	}
+	out.BestComp, out.BestU = bestComp, EncodeRat(best)
+	var ratio numeric.Rat
+	switch {
+	case honest.Sign() > 0:
+		ratio = best.Div(honest)
+	case best.Sign() > 0:
+		return nil, fmt.Errorf("scenario: positive attack utility %v from zero honest utility", best)
+	default:
+		ratio = numeric.One
+	}
+	out.Ratio = EncodeRat(ratio)
+	return out, nil
+}
+
+// wireCoalitionResult folds a full point set into the kind "coalition"
+// payload, recomputing the best-point attribution from the checkpointed
+// per-member utilities.
+func wireCoalitionResult(spec *scenarioJobSpec, points []scenario.CoalitionPoint, honest []numeric.Rat) (*ScenarioCoalitionResult, error) {
+	honestJoint := numeric.Sum(honest)
+	out := &ScenarioCoalitionResult{
+		Grid: spec.Grid, Members: spec.Members, Total: spec.Total,
+		HonestJoint: EncodeRat(honestJoint),
+		Honest:      encodeRats(honest),
+		Points:      make([]WireScenarioCoalitionPoint, len(points)),
+	}
+	var bestJoint numeric.Rat
+	var bestPoint scenario.CoalitionPoint
+	for i, p := range points {
+		out.Points[i] = WireScenarioCoalitionPoint{Digits: p.Digits, Members: encodeRats(p.Members), Joint: EncodeRat(p.Joint)}
+		if i == 0 || bestJoint.Less(p.Joint) {
+			bestJoint, bestPoint, out.BestIndex = p.Joint, p, i
+		}
+	}
+	out.BestDigits, out.BestJoint = bestPoint.Digits, EncodeRat(bestJoint)
+	if len(points) > 0 {
+		gains := make([]numeric.Rat, len(honest))
+		ratios := make([]numeric.Rat, len(honest))
+		for j := range honest {
+			gains[j] = bestPoint.Members[j].Sub(honest[j])
+			if honest[j].Sign() > 0 {
+				ratios[j] = bestPoint.Members[j].Div(honest[j])
+			} else {
+				ratios[j] = numeric.One
+			}
+		}
+		out.BestMember = encodeRats(bestPoint.Members)
+		out.Gains = encodeRats(gains)
+		out.MemberRatios = encodeRats(ratios)
+	}
+	var jr numeric.Rat
+	switch {
+	case honestJoint.Sign() > 0:
+		jr = bestJoint.Div(honestJoint)
+	case bestJoint.Sign() > 0:
+		return nil, fmt.Errorf("scenario: positive coalition utility %v from zero honest utility", bestJoint)
+	default:
+		jr = numeric.One
+	}
+	out.JointRatio = EncodeRat(jr)
+	return out, nil
+}
+
+// wireTopologyResult folds a full outcome set into the kind "topology"
+// payload, recomputing the per-family summaries from scratch.
+func wireTopologyResult(spec *scenarioJobSpec, outcomes []scenario.TopologyOutcome) *ScenarioTopologyResult {
+	out := &ScenarioTopologyResult{
+		Families: spec.Families, Count: spec.Count, N: spec.N,
+		Grid: spec.Grid, Seed: spec.Seed, Dist: spec.Dist, Total: spec.Total,
+		Outcomes: make([]WireTopologyOutcome, len(outcomes)),
+	}
+	for i, o := range outcomes {
+		out.Outcomes[i] = wireTopologyOutcome(o)
+	}
+	for _, s := range scenario.SummarizeFamilies(spec.Families, outcomes) {
+		out.Summaries = append(out.Summaries, WireFamilySummary{
+			Family: s.Family, Count: s.Count, WorstIndex: s.WorstIndex,
+			WorstRatio: EncodeRat(s.WorstRatio), Unbounded: s.Unbounded,
+		})
+	}
+	return out
+}
+
+// certifyTopologyBest builds the BD ratio certificate of a topology scan's
+// best ring point: the ring family's worst bounded instance is regenerated
+// exactly (TopologyInstance), its worst vertex is optimized on the scan
+// grid, and the certificate is self-checked before attachment.
+func (s *Server) certifyTopologyBest(ctx context.Context, spec *scenarioJobSpec, outcomes []scenario.TopologyOutcome) (*cert.RatioCert, error) {
+	var worst *scenario.TopologyOutcome
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.Family != scenario.FamilyRing || o.Unbounded {
+			continue
+		}
+		if worst == nil || worst.Ratio.Less(o.Ratio) {
+			worst = o
+		}
+	}
+	if worst == nil {
+		return nil, fmt.Errorf("scan covered no certifiable ring instance")
+	}
+	opts, err := spec.topologyOptions(nil)
+	if err != nil {
+		return nil, err
+	}
+	g, _, err := scenario.TopologyInstance(opts, worst.Index)
+	if err != nil {
+		return nil, err
+	}
+	v := worst.WorstV
+	if v < 0 {
+		v = 0
+	}
+	in, err := core.NewInstanceCtx(ctx, g, v)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := in.OptimizeCtx(ctx, core.OptimizeOptions{Grid: spec.Grid})
+	if err != nil {
+		return nil, err
+	}
+	rc, err := build.Ratio(ctx, in, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.certify(rc); err != nil {
+		return nil, err
+	}
+	return rc, nil
+}
+
+// runScenario is the shared execution core of the inline endpoint (start 0,
+// no prefix, no checkpoints) and the durable job runner (resume from start
+// with the checkpointed prefix, checkpointing every completed point through
+// ckpt). Every quantity is exact and serialized canonically, and the final
+// fold always runs over the combined prefix+tail set, so both paths produce
+// byte-identical bodies.
+func (s *Server) runScenario(ctx context.Context, spec *scenarioJobSpec, g *graph.Graph, m mechanism.Mechanism, start int, prefix []jobs.Point, ckpt jobs.CheckpointFunc) (*ScenarioResponse, error) {
+	resp := &ScenarioResponse{Kind: spec.Kind, Mechanism: m.Name()}
+	switch spec.Kind {
+	case "ksybil":
+		pts := make([]scenario.KSybilPoint, 0, spec.Total)
+		for i, p := range prefix {
+			kp, err := decodeKSybilPoint(p)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint %d: %w", i, err)
+			}
+			pts = append(pts, kp)
+		}
+		kopts := scenario.KSybilOptions{K: spec.K, Grid: spec.Grid, Mechanism: m, Start: start}
+		if _, native := m.(mechanism.RingSweeper); native {
+			// Native sweepers share the cached core.Instance with the inline
+			// sweep/ratio endpoints (memoized pair evaluations).
+			entry, hit := s.cache.entryFor(mechKey(g, m), g)
+			s.metrics.cacheLookup("/v1/scenario#run", hit)
+			in, err := entry.instance(ctx, spec.V)
+			if err != nil {
+				return nil, err
+			}
+			kopts.Instance = in
+		}
+		if ckpt != nil {
+			kopts.OnPoint = func(i int, p scenario.KSybilPoint) error {
+				return ckpt(i, []jobs.Point{encodeKSybilPoint(p)})
+			}
+		}
+		res, err := scenario.KSybil(ctx, g, spec.V, kopts)
+		if err != nil {
+			return nil, err
+		}
+		if res.Partial {
+			return nil, ctx.Err()
+		}
+		pts = append(pts, res.Points...)
+		if resp.KSybil, err = wireKSybilResult(spec, pts, res.Honest); err != nil {
+			return nil, err
+		}
+	case "coalition":
+		pts := make([]scenario.CoalitionPoint, 0, spec.Total)
+		for i, p := range prefix {
+			cp, err := decodeCoalitionPoint(p)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint %d: %w", i, err)
+			}
+			pts = append(pts, cp)
+		}
+		copts := scenario.CoalitionOptions{Members: spec.Members, Grid: spec.Grid, Mechanism: m, Start: start}
+		if ckpt != nil {
+			copts.OnPoint = func(i int, p scenario.CoalitionPoint) error {
+				pt, err := encodeCoalitionPoint(p)
+				if err != nil {
+					return err
+				}
+				return ckpt(i, []jobs.Point{pt})
+			}
+		}
+		res, err := scenario.Coalition(ctx, g, copts)
+		if err != nil {
+			return nil, err
+		}
+		if res.Partial {
+			return nil, ctx.Err()
+		}
+		pts = append(pts, res.Points...)
+		if resp.Coalition, err = wireCoalitionResult(spec, pts, res.Honest); err != nil {
+			return nil, err
+		}
+	case "topology":
+		outs := make([]scenario.TopologyOutcome, 0, spec.Total)
+		for i, p := range prefix {
+			out, err := decodeTopologyPoint(p)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint %d: %w", i, err)
+			}
+			outs = append(outs, out)
+		}
+		topts, err := spec.topologyOptions(m)
+		if err != nil {
+			return nil, fmt.Errorf("job spec dist: %w", err)
+		}
+		topts.Start = start
+		if ckpt != nil {
+			topts.OnOutcome = func(i int, out scenario.TopologyOutcome) error {
+				pt, err := encodeTopologyPoint(i, out)
+				if err != nil {
+					return err
+				}
+				return ckpt(i, []jobs.Point{pt})
+			}
+		}
+		res, err := scenario.Topology(ctx, topts)
+		if err != nil {
+			return nil, err
+		}
+		if res.Partial {
+			return nil, ctx.Err()
+		}
+		outs = append(outs, res.Outcomes...)
+		tr := wireTopologyResult(spec, outs)
+		if spec.Cert {
+			rc, err := s.certifyTopologyBest(ctx, spec, outs)
+			if err != nil {
+				return nil, fmt.Errorf("scenario certificate: %w", err)
+			}
+			tr.Certificate = rc
+		}
+		resp.Topology = tr
+	default:
+		return nil, fmt.Errorf("corrupt scenario spec: unknown kind %q", spec.Kind)
+	}
+	return resp, nil
+}
+
+// handleScenario is POST /v1/scenario: the inline strategic-manipulation
+// scan. For long grids, submit a kind ksybil/coalition/topology job instead
+// — same validation, same final body, durable across restarts.
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	var req ScenarioRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	spec, g, m, ok := s.validateScenario(w, &req)
+	if !ok {
+		return
+	}
+	ctx, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	cctx, csp := obs.Start(ctx, "server.compute")
+	resp, err := s.runScenario(cctx, &spec, g, m, 0, nil, nil)
+	csp.End()
+	if err != nil {
+		writeComputeError(w, r, err)
+		return
+	}
+	writeResult(w, r, resp)
+}
+
+// submitScenarioJob validates and enqueues a kind ksybil/coalition/topology
+// job. The scenario parameters ride in the Scenario field of the job
+// submission; its kind, when set, must agree with the job kind.
+func (s *Server) submitScenarioJob(w http.ResponseWriter, r *http.Request, req *JobSubmitRequest) {
+	var sr ScenarioRequest
+	if req.Scenario != nil {
+		sr = *req.Scenario
+	}
+	if sr.Kind == "" {
+		sr.Kind = req.Kind
+	}
+	if sr.Kind != req.Kind {
+		writeError(w, http.StatusBadRequest, CodeBadBody,
+			fmt.Sprintf("job kind %q conflicts with scenario kind %q", req.Kind, sr.Kind))
+		return
+	}
+	spec, g, m, ok := s.validateScenario(w, &sr)
+	if !ok {
+		return
+	}
+	seed, ok := seedPoints(w, req.Checkpoint, spec.Total)
+	if !ok {
+		return
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	rec, enqueued, err := s.jobSched.Submit(r.Context(), jobs.Submission{
+		Key:      scenarioJobKey(&spec, g, m),
+		Kind:     spec.Kind,
+		Spec:     raw,
+		Priority: req.Priority,
+		Seed:     seed,
+	})
+	if err != nil {
+		writeComputeError(w, r, err)
+		return
+	}
+	status := http.StatusAccepted
+	if !enqueued {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, JobSubmitResponse{Job: wireJob(rec, false), Deduped: !enqueued})
+}
+
+// runScenarioJob executes one scenario job of any kind, resuming from
+// rec.NextIndex with the checkpointed prefix and checkpointing every
+// completed point. The final Result is the ScenarioResponse JSON,
+// bit-identical to the inline /v1/scenario answer of the same request.
+func (s *Server) runScenarioJob(ctx context.Context, rec *jobs.Record, ckpt jobs.CheckpointFunc) ([]byte, error) {
+	var spec scenarioJobSpec
+	if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+		return nil, fmt.Errorf("corrupt job spec: %w", err)
+	}
+	m, err := mechanism.Get(spec.Mechanism)
+	if err != nil {
+		return nil, fmt.Errorf("job spec mechanism: %w", err)
+	}
+	if s.collector != nil {
+		tr := s.collector.NewTrace("jobs.run")
+		ctx = tr.Context(ctx)
+		defer tr.Finish()
+	}
+	ctx, span := obs.Start(ctx, "jobs.scenario")
+	defer span.End()
+	if span != nil {
+		span.SetAttr("job", rec.ID)
+		span.SetAttr("kind", spec.Kind)
+		span.SetAttr("total", strconv.Itoa(spec.Total))
+		if rec.NextIndex > 0 {
+			span.SetAttr("resume_from", strconv.Itoa(rec.NextIndex))
+		}
+	}
+	var g *graph.Graph
+	if spec.Graph != nil {
+		if g, err = spec.Graph.Build(); err != nil {
+			return nil, fmt.Errorf("job spec graph: %w", err)
+		}
+	}
+	resp, err := s.runScenario(ctx, &spec, g, m, rec.NextIndex, rec.Points, ckpt)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(resp)
+}

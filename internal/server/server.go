@@ -240,6 +240,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	mux.HandleFunc("GET /v1/mechanisms", s.instrument("/v1/mechanisms", s.handleMechanisms))
 	mux.HandleFunc("POST /v1/tournament", s.instrument("/v1/tournament", s.handleTournament))
+	mux.HandleFunc("POST /v1/scenario", s.instrument("/v1/scenario", s.handleScenario))
 	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJobSubmit))
 	mux.HandleFunc("GET /v1/jobs", s.instrument("/v1/jobs", s.handleJobList))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))

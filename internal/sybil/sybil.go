@@ -97,15 +97,18 @@ func Partitions(items []int, maxParts int) [][][]int {
 	return out
 }
 
-// compositions enumerates all ways to write total as an ordered sum of
-// parts non-negative integers.
-func compositions(total, parts int) [][]int {
+// Compositions enumerates all ways to write total as an ordered sum of
+// parts non-negative integers, in lexicographic order of the digit vector.
+// It materializes the whole list — callers keep total/parts small; the
+// scenario engine's streaming odometer (internal/scenario) enumerates the
+// same order without materializing, and is pinned against this function.
+func Compositions(total, parts int) [][]int {
 	if parts == 1 {
 		return [][]int{{total}}
 	}
 	var out [][]int
 	for first := 0; first <= total; first++ {
-		for _, rest := range compositions(total-first, parts-1) {
+		for _, rest := range Compositions(total-first, parts-1) {
 			out = append(out, append([]int{first}, rest...))
 		}
 	}
@@ -164,7 +167,7 @@ func Search(g *graph.Graph, v int, opts SearchOptions) (*SearchResult, error) {
 	}
 	for _, parts := range Partitions(g.Neighbors(v), opts.MaxParts) {
 		m := len(parts)
-		for _, comp := range compositions(opts.GridResolution, m) {
+		for _, comp := range Compositions(opts.GridResolution, m) {
 			ws := make([]numeric.Rat, m)
 			for i, k := range comp {
 				ws[i] = g.Weight(v).MulInt(int64(k)).DivInt(int64(opts.GridResolution))

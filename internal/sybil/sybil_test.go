@@ -117,7 +117,7 @@ func TestPartitions(t *testing.T) {
 }
 
 func TestCompositions(t *testing.T) {
-	got := compositions(3, 2)
+	got := Compositions(3, 2)
 	if len(got) != 4 { // (0,3) (1,2) (2,1) (3,0)
 		t.Fatalf("compositions(3,2) = %v", got)
 	}
@@ -126,7 +126,7 @@ func TestCompositions(t *testing.T) {
 			t.Fatalf("bad composition %v", c)
 		}
 	}
-	if got := compositions(5, 1); len(got) != 1 || got[0][0] != 5 {
+	if got := Compositions(5, 1); len(got) != 1 || got[0][0] != 5 {
 		t.Fatalf("compositions(5,1) = %v", got)
 	}
 }
